@@ -1,0 +1,42 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Heavy simulations run once per session (module-scoped fixtures) and are
+shared by the tests that assert different aspects of the same exhibit.
+Every benchmark prints the regenerated rows - run with ``-s`` to see the
+paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run an expensive simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def figure7_results():
+    from repro.bench import microbench
+
+    return microbench.figure7()
+
+
+@pytest.fixture(scope="session")
+def figure9_results():
+    from repro.bench import appbench
+
+    return {
+        "wordcount": appbench.bench_wordcount(n_words=6000, vocab_size=8000),
+        "stringmatch": appbench.bench_stringmatch(n_words=2048),
+        "bmm": appbench.bench_bmm(n=256),
+        "db-bitmap": appbench.bench_bitmap(n_rows=1 << 16, n_queries=6),
+    }
+
+
+@pytest.fixture(scope="session")
+def checkpoint_comparisons():
+    from repro.bench.checkpointbench import BENCHMARKS, run_benchmark
+
+    return {name: run_benchmark(name, intervals=2) for name in BENCHMARKS}

@@ -1,0 +1,61 @@
+"""Ablation: compute-level selection policy (Section IV-E).
+
+The controller computes at the highest level holding all operands.  This
+bench compares that policy against an always-L3 policy for L1-resident
+operands: computing where the data already lives saves the writebacks,
+invalidations, and higher per-block L3 operation energies.
+"""
+
+from repro import ComputeCacheMachine, cc_ops
+from repro.params import sandybridge_8core
+
+
+def _run(policy_level):
+    m = ComputeCacheMachine(sandybridge_8core())
+    size = 2048
+    a, b, c = m.arena.alloc_colocated(size, 3)
+    m.load(a, b"\x55" * size)
+    m.load(b, b"\x0f" * size)
+    for addr in (a, b, c):
+        m.touch_range(addr, size, for_write=(addr == c))
+    snap = m.snapshot_energy()
+    res = m.cc(cc_ops.cc_and(a, b, c, size), force_level=policy_level)
+    return res, m.energy_since(snap)
+
+
+def test_highest_level_policy_beats_always_l3(benchmark):
+    def measure():
+        res_l1, energy_l1 = _run(None and "L1" or "L1")
+        res_l3, energy_l3 = _run("L3")
+        return res_l1, energy_l1, res_l3, energy_l3
+
+    res_l1, energy_l1, res_l3, energy_l3 = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    assert res_l1.level == "L1"
+    assert res_l3.level == "L3"
+    # Computing where the data lives is cheaper on both axes.
+    assert energy_l1.total() < energy_l3.total()
+    assert res_l1.fetch_cycles <= res_l3.fetch_cycles
+    benchmark.extra_info["l1_nj"] = round(energy_l1.total() / 1000, 1)
+    benchmark.extra_info["l3_nj"] = round(energy_l3.total() / 1000, 1)
+
+
+def test_default_policy_matches_residency(benchmark):
+    """The default (no force_level) selects L1 for L1-resident operands
+    and L3 for uncached ones."""
+
+    def measure():
+        m = ComputeCacheMachine(sandybridge_8core())
+        a, b, c = m.arena.alloc_colocated(512, 3)
+        m.load(a, bytes(512))
+        m.load(b, bytes(512))
+        cold = m.cc(cc_ops.cc_and(a, b, c, 512))
+        for addr in (a, b, c):
+            m.touch_range(addr, 512, for_write=True)
+        warm = m.cc(cc_ops.cc_and(a, b, c, 512))
+        return cold.level, warm.level
+
+    cold_level, warm_level = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert cold_level == "L3"
+    assert warm_level == "L1"

@@ -1,0 +1,35 @@
+"""Timing-model cross-validation: analytic controller formula vs a
+discrete-event simulation of the command bus + sub-array occupancy."""
+
+from repro.bench.crossval import round_robin_partitions, validate_schedule
+from repro.bench.report import render_table
+
+
+def test_analytic_vs_event_sim(benchmark):
+    def sweep():
+        rows = []
+        for n_ops, n_parts, label in (
+            (64, 64, "4 KB @ L3 (64 partitions)"),
+            (128, 64, "8 KB @ L3"),
+            (256, 64, "16 KB @ L3 (ISA max)"),
+            (64, 4, "4 KB @ L1 (4 partitions)"),
+            (64, 16, "4 KB @ L2-ish (16 partitions)"),
+        ):
+            parts = round_robin_partitions(n_ops, n_parts)
+            result = validate_schedule(parts, op_latency=14)
+            rows.append({
+                "schedule": label,
+                "event-sim cycles": result["event_makespan"],
+                "analytic cycles": result["analytic_makespan"],
+                "gap": result["gap"],
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "CC timing: event simulation vs closed form"))
+    for row in rows:
+        # Sound (never undershoots) and tight where partitions are plentiful.
+        assert row["gap"] >= 0
+        if "64 partitions" in str(row["schedule"]):
+            assert row["gap"] <= 15
+    benchmark.extra_info["gaps"] = {r["schedule"]: r["gap"] for r in rows}

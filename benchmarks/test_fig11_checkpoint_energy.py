@@ -1,0 +1,43 @@
+"""Figure 11: total energy with and without checkpointing.
+
+Paper shape: checkpointing adds visible energy over ``no_chkpt`` for the
+scalar and SIMD engines; the CC engine's bar is nearly indistinguishable
+from not checkpointing at all.
+"""
+
+from repro.bench.report import render_figure11
+
+
+def _energies(checkpoint_comparisons):
+    return {
+        name: {
+            "no_chkpt": comp.total_energy_nj("none"),
+            "base": comp.total_energy_nj("base"),
+            "base32": comp.total_energy_nj("base32"),
+            "cc": comp.total_energy_nj("cc"),
+        }
+        for name, comp in checkpoint_comparisons.items()
+    }
+
+
+def test_figure11(benchmark, checkpoint_comparisons):
+    energies = benchmark.pedantic(
+        _energies, args=(checkpoint_comparisons,), rounds=1, iterations=1
+    )
+    print("\n" + render_figure11(energies))
+
+    for name, e in energies.items():
+        # Checkpointing always costs something.
+        assert e["base"] > e["no_chkpt"], name
+        assert e["base32"] > e["no_chkpt"], name
+        assert e["cc"] > e["no_chkpt"], name
+        # Engine ordering matches Figure 11: Base > Base_32 > CC.
+        assert e["base"] > e["base32"] > e["cc"], name
+        # The CC bar sits close to no_chkpt (paper: nearly free).
+        cc_premium = (e["cc"] - e["no_chkpt"]) / e["no_chkpt"]
+        base_premium = (e["base"] - e["no_chkpt"]) / e["no_chkpt"]
+        assert cc_premium < 0.25, (name, cc_premium)
+        assert cc_premium < base_premium / 2.5, name
+    benchmark.extra_info["energies"] = {
+        b: {k: round(v, 1) for k, v in e.items()} for b, e in energies.items()
+    }

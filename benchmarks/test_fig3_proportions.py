@@ -1,0 +1,31 @@
+"""Figure 3 (top): dynamic-energy proportions for a bulk compare.
+
+Shape: a scalar core burns ~3/4 of its energy on instruction processing;
+SIMD reduces the instruction share but not data movement; a Compute Cache
+reduces both, with the (small) remaining energy dominated by the in-place
+operations themselves.
+"""
+
+from repro.bench.microbench import figure3_energy_proportions
+from repro.bench.report import render_table
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(figure3_energy_proportions, rounds=1, iterations=1)
+    rows = [
+        {"config": cfg, **{k: v for k, v in d.items()}} for cfg, d in result.items()
+    ]
+    print("\n" + render_table(rows, "Figure 3: bulk-compare energy proportions"))
+
+    # Scalar: ~three quarters instruction processing (paper: "nearly three
+    # quarters ... in the core").
+    assert result["scalar"]["core_fraction"] > 0.65
+    # SIMD cuts the core share but data movement remains.
+    assert result["base32"]["core_fraction"] < result["scalar"]["core_fraction"]
+    assert result["base32"]["total_nj"] < result["scalar"]["total_nj"]
+    # CC: instruction processing all but vanishes and total collapses.
+    assert result["cc"]["core_fraction"] < 0.2
+    assert result["cc"]["total_nj"] < result["base32"]["total_nj"] / 5
+    benchmark.extra_info["proportions"] = {
+        cfg: {k: round(v, 3) for k, v in d.items()} for cfg, d in result.items()
+    }

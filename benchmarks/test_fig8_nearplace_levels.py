@@ -1,0 +1,71 @@
+"""Figure 8 (a): in-place vs near-place; (b): savings by compute level.
+
+Paper shape:
+
+* (a) in-place beats near-place on total energy (3.6x avg) and throughput
+  (16x avg) for 4 KB operands - near-place serializes through the single
+  per-controller logic unit and pays H-tree transfers;
+* near-place still beats the Base_32 baseline (it avoids moving data into
+  higher levels and the core);
+* (b) absolute dynamic-energy savings grow toward lower cache levels
+  (bigger sub-arrays, bigger H-trees), while computing in L1/L2 still
+  saves significantly vs their own baselines.
+"""
+
+from repro.bench.microbench import (
+    KERNELS,
+    figure8a_inplace_vs_nearplace,
+    figure8b_levels,
+    run_kernel,
+)
+
+
+def test_figure8a_inplace_beats_nearplace(benchmark):
+    results = benchmark.pedantic(figure8a_inplace_vs_nearplace, rounds=1, iterations=1)
+    energy_ratios, speed_ratios = [], []
+    for kernel in KERNELS:
+        ip = results[kernel]["inplace"]
+        near = results[kernel]["nearplace"]
+        energy_ratios.append(near.total_energy_nj / ip.total_energy_nj)
+        speed_ratios.append(near.steady_cycles / ip.steady_cycles)
+        assert near.total_energy_nj > ip.total_energy_nj
+        assert near.steady_cycles > ip.steady_cycles
+    # Paper: 3.6x total energy, 16x throughput on average.
+    assert sum(energy_ratios) / len(energy_ratios) > 2.5
+    assert sum(speed_ratios) / len(speed_ratios) > 8.0
+    benchmark.extra_info["energy_ratios"] = [round(r, 2) for r in energy_ratios]
+    benchmark.extra_info["speed_ratios"] = [round(r, 2) for r in speed_ratios]
+
+
+def test_nearplace_still_beats_baseline(benchmark):
+    """Near-place retains the avoid-the-upper-levels benefit (IV-J)."""
+    base = benchmark.pedantic(run_kernel, args=("logical", "base32"), rounds=1, iterations=1)
+    near = run_kernel("logical", "cc_near")
+    assert near.dynamic.total() < base.dynamic.total()
+
+
+def test_figure8b_levels(benchmark):
+    results = benchmark.pedantic(figure8b_levels, rounds=1, iterations=1)
+    for kernel in KERNELS:
+        by_level = results[kernel]
+        # Every level shows positive savings vs its own Base_32.
+        for level in ("L1", "L2", "L3"):
+            assert by_level[level]["total_savings_pj"] > 0
+        # Absolute savings are largest when operands sit in L3 (paper:
+        # "the absolute savings are higher when operands are in
+        # lower-level caches").
+        assert (
+            by_level["L3"]["total_savings_pj"]
+            > by_level["L2"]["total_savings_pj"]
+            > 0
+        )
+        assert (
+            by_level["L3"]["total_savings_pj"] > by_level["L1"]["total_savings_pj"]
+        )
+        # L1-resident CC saves a very large fraction (paper: 95%).
+        assert by_level["L1"]["savings_fraction"] > 0.85
+    benchmark.extra_info["fractions"] = {
+        k: {lvl: round(results[k][lvl]["savings_fraction"], 3)
+            for lvl in ("L1", "L2", "L3")}
+        for k in KERNELS
+    }

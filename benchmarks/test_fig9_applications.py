@@ -1,0 +1,58 @@
+"""Figure 9 (a): application total-energy savings; (b): speedups.
+
+Paper: WordCount 2.0x, StringMatch 1.5x, BMM 3.2x, DB-BitMap 1.6x speedup;
+average total-energy savings 2.7x; instruction reductions 87/32/98/43 %.
+
+Shape asserted here: every application speeds up and its outputs are
+bit-exact against the baseline; BMM gains the most (its 98% instruction
+reduction); instruction reductions are substantial for all four; the mean
+total-energy ratio is well above 1.  WordCount's margins are the thinnest
+(its per-word key replication cannot amortize), mirroring its position in
+the paper relative to BMM.
+"""
+
+from repro.bench.report import render_figure9
+
+
+def test_figure9_speedups(benchmark, figure9_results):
+    comp = figure9_results
+    print("\n" + render_figure9(comp))
+
+    def speedups():
+        return {app: c.speedup for app, c in comp.items()}
+
+    result = benchmark.pedantic(speedups, rounds=1, iterations=1)
+    for app, speed in result.items():
+        assert speed > 1.0, f"{app} did not speed up: {speed:.2f}x"
+    # BMM gains the most (paper: 3.2x, the top bar of Figure 9(b)).
+    assert result["bmm"] == max(result.values())
+    assert result["bmm"] > 2.5
+    benchmark.extra_info["speedups"] = {a: round(s, 2) for a, s in result.items()}
+
+
+def test_figure9_outputs_exact(benchmark, figure9_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for app, comp in figure9_results.items():
+        assert comp.outputs_match, f"{app}: CC output diverged from baseline"
+
+
+def test_figure9_instruction_reductions(benchmark, figure9_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper: 87% (WordCount), 32% (StringMatch), 98% (BMM), 43% (bitmap)."""
+    red = {a: c.instruction_reduction for a, c in figure9_results.items()}
+    assert red["bmm"] > 0.95
+    assert red["wordcount"] > 0.6
+    assert red["stringmatch"] > 0.25
+    assert red["db-bitmap"] > 0.35
+    assert red["bmm"] == max(red.values())
+
+
+def test_figure9_total_energy(benchmark, figure9_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper: average total-energy savings 2.7x across the applications."""
+    ratios = {a: c.total_energy_ratio for a, c in figure9_results.items()}
+    mean = sum(ratios.values()) / len(ratios)
+    assert mean > 1.5
+    assert ratios["bmm"] > 2.0
+    # No application pays more than a small penalty in the worst case.
+    assert min(ratios.values()) > 0.8

@@ -1,0 +1,52 @@
+"""Design-space sweeps around the paper's 4 KB / Table IV operating point."""
+
+from repro.bench.report import render_table
+from repro.bench.sweeps import (
+    noc_distance_sweep,
+    operand_size_sweep,
+    partition_parallelism_sweep,
+    wordline_activation_sweep,
+)
+
+
+def test_operand_size_sweep(benchmark):
+    rows = benchmark.pedantic(operand_size_sweep, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Sweep: CC gain vs operand size (logical)"))
+    by_size = {r["size"]: r for r in rows}
+    # The advantage grows with operand size (more block-level parallelism
+    # per instruction, amortized overheads).
+    assert by_size[4096]["throughput_gain"] > by_size[256]["throughput_gain"]
+    assert by_size[16384]["dynamic_saving"] >= by_size[64]["dynamic_saving"]
+    # Even a single block already saves dynamic energy.
+    assert by_size[64]["dynamic_saving"] > 0.3
+    benchmark.extra_info["gains"] = {
+        r["size"]: round(r["throughput_gain"], 1) for r in rows
+    }
+
+
+def test_partition_parallelism_sweep(benchmark):
+    rows = benchmark.pedantic(partition_parallelism_sweep, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Sweep: in-place makespan vs partitions"))
+    # More partitions -> shorter compute makespan (more concurrency).
+    makespans = [r["cc_compute_cycles"] for r in rows]
+    assert makespans == sorted(makespans, reverse=True)
+    assert rows[-1]["partitions"] > rows[0]["partitions"]
+
+
+def test_wordline_activation_sweep(benchmark):
+    rows = benchmark.pedantic(wordline_activation_sweep, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Sweep: multi-row activation correctness"))
+    for row in rows[:-1]:
+        assert row["algebra_exact"] is True
+    # The 65th simultaneous word-line is rejected (circuit limit).
+    assert rows[-1]["rejected"] is True
+
+
+def test_noc_distance_sweep(benchmark):
+    rows = benchmark.pedantic(noc_distance_sweep, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Sweep: ring cost vs hop distance"))
+    energies = [r["block_energy_pj"] for r in rows]
+    latencies = [r["block_latency_cycles"] for r in rows]
+    assert energies == sorted(energies)
+    assert latencies == sorted(latencies)
+    assert energies[0] == 0.0  # same-stop transfer: the cost CC avoids

@@ -1,0 +1,30 @@
+"""Table I: cache energy per read access - H-tree vs data array.
+
+Shape: the in-cache interconnect dominates read energy, growing from ~60%
+at L1 to ~80% at the L3 slice; this is the energy only *in-place* (not
+near-place) computation eliminates.
+"""
+
+from repro.bench.microbench import table1_rows
+from repro.bench.report import render_table
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Table I: cache energy per read access"))
+
+    by_cache = {r["cache"]: r for r in rows}
+    assert by_cache["L1-D"]["cache-ic (h-tree) pJ"] == 179.0
+    assert by_cache["L2"]["cache-ic (h-tree) pJ"] == 675.0
+    assert by_cache["L3-slice"]["cache-ic (h-tree) pJ"] == 1985.0
+    assert by_cache["L3-slice"]["cache-access pJ"] == 467.0
+    # The paper's claim: H-tree is ~80% of a 2 MB slice read.
+    assert by_cache["L3-slice"]["h-tree fraction"] > 0.78
+    assert by_cache["L1-D"]["h-tree fraction"] > 0.55
+    # The fraction grows monotonically down the hierarchy.
+    assert (
+        by_cache["L1-D"]["h-tree fraction"]
+        < by_cache["L2"]["h-tree fraction"]
+        <= by_cache["L3-slice"]["h-tree fraction"] + 0.05
+    )
+    benchmark.extra_info["rows"] = rows

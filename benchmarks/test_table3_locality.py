@@ -1,0 +1,46 @@
+"""Table III: cache geometry and the operand-locality constraint.
+
+Shape: L1-D/L2/L3 need 8/10/12 matching low address bits, all within the
+12 bits a 4 KB page fixes - so page-aligned operands always satisfy
+operand locality, the paper's central software contract.
+"""
+
+from repro.bench.microbench import table3_rows
+from repro.bench.report import render_table
+from repro.cache.locality import partitions_match
+from repro.params import PAGE_SIZE, sandybridge_8core
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    print("\n" + render_table(rows, "Table III: geometry and operand locality"))
+
+    expected = {
+        "L1-D": (2, 2, 8),
+        "L2": (8, 2, 10),
+        "L3-slice": (16, 4, 12),
+    }
+    for row in rows:
+        banks, bps, bits = expected[row["cache"]]
+        assert row["banks"] == banks
+        assert row["BP"] == bps
+        assert row["min address bits match"] == bits
+        assert row["block size"] == 64
+    benchmark.extra_info["rows"] = rows
+
+
+def test_page_alignment_implies_locality_everywhere(benchmark):
+    """End-to-end check of the constraint on live geometry decoding."""
+
+    def check():
+        cfg = sandybridge_8core()
+        hits = 0
+        for level in (cfg.l1d, cfg.l2, cfg.l3_slice):
+            for offset in range(0, PAGE_SIZE, 64):
+                a = 17 * PAGE_SIZE + offset
+                b = 523 * PAGE_SIZE + offset
+                assert partitions_match(a, b, level)
+                hits += 1
+        return hits
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1) == 3 * 64

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Bitmap-index query processing on a Compute Cache (DB-BitMap).
+
+Builds a FastBit-style equality-encoded bitmap index over a synthetic
+dataset (the paper used the STAR physics experiment's), then runs the same
+range/join query mix through the Base_32 SIMD baseline and the cc_or/cc_and
+Compute Cache path, verifying both against a numpy reference and comparing
+cost.
+
+Run:  python examples/bitmap_analytics.py
+"""
+
+import numpy as np
+
+from repro.apps import bitmap_db
+from repro.apps.common import fresh_machine
+
+
+def main() -> None:
+    print("Building synthetic dataset: 65,536 rows, two attributes "
+          "(cardinalities 16 and 8)...")
+    dataset = bitmap_db.make_dataset(seed=7, n_rows=1 << 16,
+                                     cardinalities=(16, 8))
+    queries = bitmap_db.make_query_mix(dataset, seed=8, n_queries=6)
+    print(f"Index: {sum(dataset.cardinalities)} bins x "
+          f"{dataset.bitmap_bytes // 1024} KB each\n")
+
+    for q in queries:
+        kind = "range" if q.and_attr is None else "range+join"
+        print(f"  query: attr{q.attr} bins {q.bins[0]}..{q.bins[-1]} ({kind})")
+
+    print("\nRunning Base_32 (32-byte SIMD OR/AND loops)...")
+    base = bitmap_db.run_bitmap_queries(dataset, queries, "baseline",
+                                        fresh_machine())
+    print("Running Compute Cache (cc_or / cc_and on 2 KB chunks)...")
+    cc = bitmap_db.run_bitmap_queries(dataset, queries, "cc", fresh_machine())
+
+    refs = [bitmap_db.reference_query(dataset, q).tobytes() for q in queries]
+    assert base.output == refs, "baseline diverged from numpy reference!"
+    assert cc.output == refs, "CC diverged from numpy reference!"
+    print("Both variants match the numpy reference bit-for-bit.\n")
+
+    rows_hit = [
+        int(np.unpackbits(np.frombuffer(r, dtype=np.uint8)).sum()) for r in refs
+    ]
+    print(f"Qualifying rows per query: {rows_hit}\n")
+
+    print(f"{'':14s}{'cycles':>14s}{'instructions':>14s}{'dynamic nJ':>12s}")
+    print(f"{'Base_32':14s}{base.cycles:>14,.0f}{base.instructions:>14,}"
+          f"{base.energy_nj:>12,.1f}")
+    print(f"{'Compute Cache':14s}{cc.cycles:>14,.0f}{cc.instructions:>14,}"
+          f"{cc.energy_nj:>12,.1f}")
+    print(f"\nSpeedup: {base.cycles / cc.cycles:.2f}x   "
+          f"(paper reports 1.6x for DB-BitMap)")
+    print(f"Instruction reduction: "
+          f"{1 - cc.instructions / base.instructions:.0%}   (paper: 43%)")
+    print(f"Dynamic-energy ratio: {base.energy_nj / cc.energy_nj:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Bit-matrix multiplication over GF(2) with broadcast cc_clmul.
+
+BMM underlies error-correcting codes, cryptography, bioinformatics and the
+FFT; Cray machines had a dedicated BMM instruction and x86 provides CLMUL.
+The Compute Cache computes one full output row per instruction: B-transpose
+lives packed in L1 sub-arrays, the A-row is broadcast through the key-table
+datapath, and every sub-array's XOR-reduction tree emits inner-product bits.
+
+The demo multiplies random matrices, verifies against numpy, and shows a
+small GF(2) application: syndrome computation for a Hamming-code parity
+check matrix.
+
+Run:  python examples/bmm_crypto.py
+"""
+
+import numpy as np
+
+from repro.apps import bmm
+from repro.apps.common import fresh_machine
+
+
+def demo_multiply(n: int = 128) -> None:
+    print(f"=== {n}x{n} GF(2) matrix multiply ===")
+    workload = bmm.make_matrices(seed=3, n=n)
+    reference = bmm.reference_bmm(workload)
+
+    base = bmm.run_bmm(workload, "baseline", fresh_machine())
+    cc = bmm.run_bmm(workload, "cc", fresh_machine())
+    assert np.array_equal(base.output, reference)
+    assert np.array_equal(cc.output, reference)
+    print("both variants match numpy's GF(2) product")
+
+    print(f"baseline: {base.cycles:>12,.0f} cycles  "
+          f"{base.instructions:>10,} instructions")
+    print(f"CC      : {cc.cycles:>12,.0f} cycles  "
+          f"{cc.instructions:>10,} instructions "
+          f"({cc.stats['cc_instructions']} cc_clmul, one per output row)")
+    print(f"speedup: {base.cycles / cc.cycles:.2f}x (paper: 3.2x)")
+    print(f"instruction reduction: "
+          f"{1 - cc.instructions / base.instructions:.1%} (paper: 98%)\n")
+
+
+def demo_parity_check() -> None:
+    """GF(2) syndrome: H (64x64, a toy parity structure) times codewords."""
+    print("=== GF(2) syndrome computation (parity-check style) ===")
+    n = 64
+    rng = np.random.default_rng(11)
+    h = (rng.integers(0, 2, size=(n, n), dtype=np.uint8))
+    codewords = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+    workload = bmm.BMMWorkload(n=n, a=h, b=codewords)
+    cc = bmm.run_bmm(workload, "cc", fresh_machine())
+    expected = bmm.reference_bmm(workload)
+    assert np.array_equal(cc.output, expected)
+    nonzero = int(cc.output.any(axis=0).sum())
+    print(f"syndromes computed for {n} codeword columns; "
+          f"{nonzero} columns flag a parity violation")
+    print("(computed entirely by in-cache AND + XOR-reduction trees)")
+
+
+if __name__ == "__main__":
+    demo_multiply()
+    demo_parity_check()

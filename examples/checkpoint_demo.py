@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Copy-on-write checkpointing with cc_copy (Figures 10 and 11).
+
+An OS checkpoints application memory every 100k instructions: the first
+store to a page in an interval copies it to a shadow region.  Page-to-page
+copies are page-aligned, so operand locality is *perfect* and the whole
+4 KB copy is one ``cc_copy`` instruction executing entirely inside the L3
+sub-arrays - no L1/L2 pollution, no core involvement.
+
+Run:  python examples/checkpoint_demo.py
+"""
+
+from repro.apps.checkpoint import run_checkpoint
+from repro.apps.splash import PROFILES, SplashProfile
+
+
+def main() -> None:
+    print("Copy-on-write checkpointing, 100k-instruction intervals")
+    print(f"{'benchmark':<11}{'pages/int':>10}{'Base':>9}{'Base_32':>9}"
+          f"{'CC_L3':>9}")
+    print("-" * 48)
+
+    profiles = [
+        SplashProfile(p.name, p.dirty_pages_per_interval, p.cpi,
+                      p.store_fraction, intervals=1)
+        for p in (PROFILES["fmm"], PROFILES["raytrace"], PROFILES["radix"])
+    ]
+    for prof in profiles:
+        overheads = {}
+        for engine in ("base", "base32", "cc"):
+            run = run_checkpoint(prof, engine)
+            overheads[engine] = run.overhead
+        print(f"{prof.name:<11}{prof.dirty_pages_per_interval:>10}"
+              f"{overheads['base']:>8.1%}{overheads['base32']:>8.1%}"
+              f"{overheads['cc']:>8.1%}")
+
+    print("\nWhy CC_L3 wins:")
+    print(" * one cc_copy instruction replaces ~512 scalar / 128 SIMD"
+          " load-store pairs;")
+    print(" * the copy happens block-parallel inside L3 sub-arrays;")
+    print(" * the destination page is fully overwritten, so its fetch is"
+          " skipped;")
+    print(" * L1/L2 stay clean for the application's own working set.")
+    print("\n(Figure 10 of the paper: Base up to 68%, Base_32 ~30% average,"
+          "\n CC ~6% - see benchmarks/test_fig10_checkpoint_overhead.py.)")
+
+
+if __name__ == "__main__":
+    main()

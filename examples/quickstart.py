@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: compute in the cache, not in the core.
+
+Builds the paper's 8-core SandyBridge-class machine, allocates co-located
+(operand-locality-satisfying) buffers, and runs every Compute Cache
+instruction once - verifying each result against plain Python and printing
+where the operation ran and what it cost.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ComputeCacheMachine, cc_ops
+
+
+def main() -> None:
+    machine = ComputeCacheMachine()
+    size = 4096  # one page per operand
+
+    # Co-located buffers share a page offset, so every pair of
+    # corresponding cache blocks shares bit-lines at L1, L2, and L3:
+    # in-place computation is possible by construction (Section IV-C).
+    a, b, c = machine.arena.alloc_colocated(size, 3)
+    rng = np.random.default_rng(1)
+    data_a = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+    data_b = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+    machine.load(a, data_a)
+    machine.load(b, data_b)
+
+    na = np.frombuffer(data_a, dtype=np.uint8)
+    nb = np.frombuffer(data_b, dtype=np.uint8)
+
+    print("=== Compute Cache ISA walkthrough (Table II) ===\n")
+
+    def show(name, res, ok):
+        mode = "in-place" if res.used_inplace else "near-place"
+        print(f"{name:12s} level={res.level}  {mode:10s} "
+              f"{res.inplace_ops + res.nearplace_ops:3d} block ops  "
+              f"{res.cycles:7.0f} cycles  correct={ok}")
+
+    res = machine.cc(cc_ops.cc_and(a, b, c, size))
+    show("cc_and", res, machine.peek(c, size) == (na & nb).tobytes())
+
+    res = machine.cc(cc_ops.cc_or(a, b, c, size))
+    show("cc_or", res, machine.peek(c, size) == (na | nb).tobytes())
+
+    res = machine.cc(cc_ops.cc_xor(a, b, c, size))
+    show("cc_xor", res, machine.peek(c, size) == (na ^ nb).tobytes())
+
+    res = machine.cc(cc_ops.cc_not(a, c, size))
+    show("cc_not", res,
+         machine.peek(c, size) == (~na).astype(np.uint8).tobytes())
+
+    res = machine.cc(cc_ops.cc_copy(a, c, size))
+    show("cc_copy", res, machine.peek(c, size) == data_a)
+
+    res = machine.cc(cc_ops.cc_buz(c, size))
+    show("cc_buz", res, machine.peek(c, size) == bytes(size))
+
+    # cc_cmp: word-granular equality, result in a 64-bit register.
+    res = machine.cc(cc_ops.cc_cmp(a, b, 512))
+    expect = sum(
+        1 << i
+        for i in range(64)
+        if data_a[i * 8 : (i + 1) * 8] == data_b[i * 8 : (i + 1) * 8]
+    )
+    show("cc_cmp", res, res.result == expect)
+
+    # cc_search: find a 64-byte key inside a buffer; one bit per block.
+    key = machine.arena.alloc_page_aligned(64)
+    machine.load(key, data_a[128:192])  # block 2 of a
+    res = machine.cc(cc_ops.cc_search(a, key, size))
+    show("cc_search", res, res.result & (1 << 2))
+    print(f"{'':12s} search key found in blocks: "
+          f"{[i for i in range(64) if res.result >> i & 1]}")
+
+    # cc_clmul: carry-less multiply - per-lane parity of AND.
+    d = machine.arena.alloc_page_aligned(512)
+    res = machine.cc(cc_ops.cc_clmul(a, b, d, 512, lane_bits=64))
+    lane0 = bin(int.from_bytes(data_a[:8], "little")
+                & int.from_bytes(data_b[:8], "little")).count("1") & 1
+    show("cc_clmul", res, (res.result_bytes[0] & 1) == lane0)
+
+    print("\n=== Energy ledger (dynamic, by component) ===")
+    for component, pj in sorted(machine.ledger.breakdown().items()):
+        print(f"  {component:14s} {pj / 1000:10.1f} nJ")
+
+    print("\nNote: no 'noc' and almost no 'core' energy - the data never"
+          "\nleft the L3 sub-arrays it was sitting in.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harnesses regenerating every table and figure of the paper.
+
+Each function returns structured rows mirroring one exhibit of the
+evaluation (Section VI); ``benchmarks/`` wraps them in pytest-benchmark
+entries that print the same series the paper plots and assert the *shape*
+of the results (who wins, by roughly what factor, in what order).
+
+==================  ==========================================================
+Exhibit             Harness
+==================  ==========================================================
+Table I             :func:`repro.bench.microbench.table1_rows`
+Table III           :func:`repro.bench.microbench.table3_rows`
+Table V             :func:`repro.bench.microbench.table5_rows`
+Figure 3 (top)      :func:`repro.bench.microbench.figure3_energy_proportions`
+Figure 7 (a-c)      :func:`repro.bench.microbench.figure7`
+Figure 8 (a)        :func:`repro.bench.microbench.figure8a_inplace_vs_nearplace`
+Figure 8 (b)        :func:`repro.bench.microbench.figure8b_levels`
+Figure 9 (a, b)     :func:`repro.bench.appbench.figure9`
+Figure 10           :func:`repro.bench.checkpointbench.figure10_overheads`
+Figure 11           :func:`repro.bench.checkpointbench.figure11_energy`
+==================  ==========================================================
+"""
+
+from . import appbench, checkpointbench, microbench, report
+
+__all__ = ["appbench", "checkpointbench", "microbench", "report"]

@@ -1,0 +1,77 @@
+"""Checkpointing benchmark harness: Figures 10 and 11.
+
+Runs the six SPLASH-2 profiles with no checkpointing, scalar (Base),
+Base_32 SIMD, and CC_L3 page-copy engines; reports per-benchmark overhead
+(Figure 10) and total energy including leakage over the measured runtime
+(Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..apps.checkpoint import CheckpointRun, run_checkpoint
+from ..apps.splash import BENCHMARKS, PROFILES
+from ..machine import ComputeCacheMachine
+from ..params import sandybridge_8core
+
+ENGINES = ("base", "base32", "cc")
+
+
+@dataclass
+class CheckpointComparison:
+    """All engines for one benchmark profile."""
+
+    benchmark: str
+    runs: dict[str, CheckpointRun]
+
+    def overhead(self, engine: str) -> float:
+        return self.runs[engine].overhead
+
+    def total_energy_nj(self, engine: str) -> float:
+        run = self.runs[engine]
+        m = ComputeCacheMachine(sandybridge_8core())
+        return m.total_energy(run.energy, run.total_cycles).total
+
+
+def run_benchmark(name: str, intervals: int = 2) -> CheckpointComparison:
+    prof = replace(PROFILES[name], intervals=intervals)
+    runs = {}
+    for engine in ("none",) + ENGINES:
+        m = ComputeCacheMachine(sandybridge_8core())
+        runs[engine] = run_checkpoint(prof, engine, m)
+    return CheckpointComparison(benchmark=name, runs=runs)
+
+
+def figure10_overheads(intervals: int = 2,
+                       benchmarks: tuple[str, ...] = BENCHMARKS) -> dict[str, dict[str, float]]:
+    """Figure 10: checkpointing performance overhead (%) per benchmark."""
+    out = {}
+    for name in benchmarks:
+        comp = run_benchmark(name, intervals)
+        out[name] = {engine: comp.overhead(engine) for engine in ENGINES}
+    return out
+
+
+def figure11_energy(intervals: int = 2,
+                    benchmarks: tuple[str, ...] = BENCHMARKS) -> dict[str, dict[str, float]]:
+    """Figure 11: total energy (nJ) per benchmark, including no_chkpt."""
+    out = {}
+    for name in benchmarks:
+        comp = run_benchmark(name, intervals)
+        out[name] = {
+            "no_chkpt": comp.total_energy_nj("none"),
+            **{engine: comp.total_energy_nj(engine) for engine in ENGINES},
+        }
+    return out
+
+
+def summarize_overheads(overheads: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Geomean-free summary: arithmetic-mean overhead per engine (the
+    paper quotes averages: Base_32 ~30%, CC ~6%) plus the worst case."""
+    out = {}
+    for engine in ENGINES:
+        values = [overheads[b][engine] for b in overheads]
+        out[f"avg_{engine}"] = sum(values) / len(values)
+        out[f"max_{engine}"] = max(values)
+    return out

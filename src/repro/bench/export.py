@@ -1,0 +1,86 @@
+"""Machine-readable results export (artifact-evaluation plumbing).
+
+``python -m repro export --out results.json`` runs the fast exhibits and
+writes one JSON document containing the machine configuration, every
+table, the micro-benchmark figures, and the validation verdict - the
+artifact a reviewer diffs against EXPERIMENTS.md.
+
+The heavyweight exhibits (Figures 9-11) are included only with
+``--full`` (several minutes of simulation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..config_io import config_to_dict
+from ..params import sandybridge_8core
+from . import appbench, checkpointbench, microbench
+
+
+def _kernel_entry(meas) -> dict[str, Any]:
+    return {
+        "cycles": meas.cycles,
+        "steady_cycles": meas.steady_cycles,
+        "instructions": meas.instructions,
+        "dynamic_nj": round(meas.dynamic.total_nj(), 3),
+        "dynamic_breakdown_nj": {
+            k: round(v / 1000.0, 3) for k, v in meas.dynamic.breakdown().items()
+        },
+        "total_nj": round(meas.total_energy_nj, 3),
+    }
+
+
+def export_fast() -> dict[str, Any]:
+    """Tables I/III/V, Figures 3/7/8a, and the validation battery."""
+    from ..validate import run_validation
+
+    fig7 = microbench.figure7()
+    fig8a = microbench.figure8a_inplace_vs_nearplace()
+    doc: dict[str, Any] = {
+        "schema": "repro.results/1",
+        "machine": config_to_dict(sandybridge_8core()),
+        "validation_ok": run_validation(verbose=False),
+        "table1": microbench.table1_rows(),
+        "table3": microbench.table3_rows(),
+        "table5": microbench.table5_rows(),
+        "figure3": microbench.figure3_energy_proportions(),
+        "figure7": {
+            kernel: {cfg: _kernel_entry(meas) for cfg, meas in pair.items()}
+            for kernel, pair in fig7.items()
+        },
+        "figure7_summary": microbench.figure7_summary(fig7),
+        "figure8a": {
+            kernel: {cfg: _kernel_entry(meas) for cfg, meas in pair.items()}
+            for kernel, pair in fig8a.items()
+        },
+    }
+    return doc
+
+
+def export_full(scale: float = 0.5, intervals: int = 1) -> dict[str, Any]:
+    """Everything in :func:`export_fast` plus Figures 8b, 9, 10, 11."""
+    doc = export_fast()
+    doc["figure8b"] = microbench.figure8b_levels()
+    comparisons = appbench.figure9(scale=scale)
+    doc["figure9"] = {
+        app: {
+            "speedup": round(comp.speedup, 3),
+            "instruction_reduction": round(comp.instruction_reduction, 4),
+            "total_energy_ratio": round(comp.total_energy_ratio, 3),
+            "outputs_match": comp.outputs_match,
+        }
+        for app, comp in comparisons.items()
+    }
+    doc["figure10"] = checkpointbench.figure10_overheads(intervals=intervals)
+    doc["figure11"] = checkpointbench.figure11_energy(intervals=intervals)
+    return doc
+
+
+def write_results(path: str, full: bool = False, **kwargs) -> dict[str, Any]:
+    """Export and write to ``path``; returns the document."""
+    doc = export_full(**kwargs) if full else export_fast()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True, default=float)
+    return doc

@@ -1,0 +1,127 @@
+"""Bit-level helpers shared by the SRAM, cache, and application layers.
+
+The functional simulator stores data as numpy ``uint8`` byte arrays and the
+SRAM layer stores bits as numpy ``bool`` arrays (one element per bit-cell).
+These helpers convert between the two representations and implement the
+word-granularity reductions the compute-cache circuits perform (wired-NOR
+equality, XOR-reduction for carry-less multiply).
+
+Bit order convention: ``bytes_to_bits`` uses big-endian bit order within a
+byte (``numpy.unpackbits`` default), which matches a left-to-right layout of
+bit-lines in a sub-array row.  All round-trips are exact; the specific order
+only matters for lane extraction, which consistently uses the same order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import AddressError
+
+
+def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
+    """Expand bytes into a bool array of bits (8 per byte, MSB first)."""
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr).astype(bool)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a bool array of bits (length divisible by 8) back into bytes."""
+    if bits.size % 8:
+        raise AddressError(f"bit vector length {bits.size} is not a whole number of bytes")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def word_equality_mask(xor_bits: np.ndarray, word_bits: int = 64) -> int:
+    """Wired-NOR the per-bit XOR results into a per-word equality mask.
+
+    The circuit combines the bit-wise XOR outputs of one word with a
+    wired-NOR (Section IV-B): the word compares equal iff every XOR bit is
+    zero.  Returns an integer with bit ``i`` set iff word ``i`` matched;
+    word 0 is the lowest-addressed word and occupies bit 0.
+    """
+    if xor_bits.size % word_bits:
+        raise AddressError(
+            f"xor vector of {xor_bits.size} bits is not divisible by word size {word_bits}"
+        )
+    words = xor_bits.reshape(-1, word_bits)
+    equal = ~words.any(axis=1)
+    mask = 0
+    for i, bit in enumerate(equal):
+        if bit:
+            mask |= 1 << i
+    return mask
+
+
+def xor_reduce_lanes(and_bits: np.ndarray, lane_bits: int) -> np.ndarray:
+    """XOR-reduce each ``lane_bits``-wide lane of an AND result to one bit.
+
+    Implements the XOR-reduction tree added to each sub-array for the
+    ``cc_clmul`` operation (Section IV-B): for every lane,
+    ``c_i = XOR over j of (a[j] & b[j])``.
+    """
+    if and_bits.size % lane_bits:
+        raise AddressError(
+            f"AND vector of {and_bits.size} bits is not divisible by lane size {lane_bits}"
+        )
+    lanes = and_bits.reshape(-1, lane_bits)
+    return np.bitwise_xor.reduce(lanes.astype(np.uint8), axis=1).astype(bool)
+
+
+def parity(value: int) -> int:
+    """Parity (XOR-reduction) of an arbitrary-precision integer."""
+    return bin(value).count("1") & 1
+
+
+def popcount_mask(mask: int) -> int:
+    """Number of set bits in an integer mask."""
+    return bin(mask).count("1")
+
+
+def bytes_xor(a: bytes, b: bytes) -> bytes:
+    """Byte-wise XOR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise AddressError("XOR operands differ in length")
+    return (
+        np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
+    ).tobytes()
+
+
+def bytes_and(a: bytes, b: bytes) -> bytes:
+    """Byte-wise AND of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise AddressError("AND operands differ in length")
+    return (
+        np.frombuffer(a, dtype=np.uint8) & np.frombuffer(b, dtype=np.uint8)
+    ).tobytes()
+
+
+def bytes_or(a: bytes, b: bytes) -> bytes:
+    """Byte-wise OR of two equal-length byte strings."""
+    if len(a) != len(b):
+        raise AddressError("OR operands differ in length")
+    return (
+        np.frombuffer(a, dtype=np.uint8) | np.frombuffer(b, dtype=np.uint8)
+    ).tobytes()
+
+
+def bytes_not(a: bytes) -> bytes:
+    """Byte-wise complement of a byte string."""
+    return (~np.frombuffer(a, dtype=np.uint8)).astype(np.uint8).tobytes()
+
+
+def chunk_range(start: int, size: int, chunk: int):
+    """Yield ``(addr, length)`` pieces of ``[start, start+size)`` split on
+    ``chunk``-aligned boundaries.
+
+    Used to split CC operands on cache-block and page boundaries.
+    """
+    if size < 0:
+        raise AddressError("negative range size")
+    addr = start
+    end = start + size
+    while addr < end:
+        boundary = (addr // chunk + 1) * chunk
+        piece = min(end, boundary) - addr
+        yield addr, piece
+        addr += piece

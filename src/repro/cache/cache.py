@@ -1,0 +1,218 @@
+"""One cache level: tag array + compute sub-arrays + H-tree + accounting.
+
+:class:`CacheLevel` is the mechanical container the coherence protocol and
+the CC controllers manipulate.  It stores block data physically in compute
+sub-arrays (one per block partition), charges Table-V energies to the
+machine's :class:`~repro.energy.EnergyLedger`, and exposes the
+``(sub-array, row)`` handles in-place computation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.accounting import EnergyLedger
+from ..energy.mcpat import charge_cache_read, charge_cache_write
+from ..errors import AddressError, CoherenceError
+from ..params import CacheLevelConfig
+from ..sram import ComputeSubarray
+from .block import MESIState
+from .geometry import CacheGeometry
+from .htree import HTree
+from .mshr import MSHRFile
+from .set_assoc import SetAssociativeArray
+
+
+@dataclass
+class Eviction:
+    """A victim block pushed out by a fill."""
+
+    addr: int
+    data: bytes
+    dirty: bool
+
+
+@dataclass
+class CacheLevelStats:
+    reads: int = 0
+    writes: int = 0
+    fills: int = 0
+    writebacks_out: int = 0
+    cc_inplace_ops: int = 0
+    cc_nearplace_ops: int = 0
+
+
+class CacheLevel:
+    """A single cache (an L1, an L2, or one L3 NUCA slice)."""
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        ledger: EnergyLedger,
+        commands_per_cycle: int = 1,
+        mshr_capacity: int = 16,
+        wordline_underdrive: bool = True,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.ledger = ledger
+        self.tags = SetAssociativeArray(config)
+        self.geometry = CacheGeometry(config, wordline_underdrive=wordline_underdrive)
+        self.htree = HTree(config.name, commands_per_cycle=commands_per_cycle)
+        self.mshrs = MSHRFile(capacity=mshr_capacity)
+        self.stats = CacheLevelStats()
+
+    # -- presence -----------------------------------------------------------------
+
+    def _parts(self, addr: int):
+        if addr % self.config.block_size:
+            raise AddressError(f"{self.name}: unaligned block address {addr:#x}")
+        return self.geometry.decode(addr)
+
+    def lookup(self, addr: int) -> int | None:
+        """Tag lookup (counted); returns the way or None."""
+        parts = self._parts(addr)
+        return self.tags.lookup(parts.set_index, parts.tag)
+
+    def probe(self, addr: int) -> int | None:
+        """Uncounted presence check (coherence probes, CC level selection)."""
+        parts = self._parts(addr)
+        return self.tags.probe(parts.set_index, parts.tag)
+
+    def contains(self, addr: int) -> bool:
+        return self.probe(addr) is not None
+
+    def state_of(self, addr: int) -> MESIState:
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            return MESIState.INVALID
+        return self.tags.entry(parts.set_index, way).state
+
+    def set_state(self, addr: int, state: MESIState) -> None:
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: state change on absent block {addr:#x}")
+        self.tags.entry(parts.set_index, way).state = state
+
+    # -- data plane ----------------------------------------------------------------
+
+    def read_block(self, addr: int, charge: bool = True) -> bytes:
+        """Read a resident block (conventional access: array + H-tree)."""
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: read of absent block {addr:#x}")
+        self.tags.touch(parts.set_index, way)
+        self.stats.reads += 1
+        self.htree.record_transfer()
+        if charge:
+            charge_cache_read(self.ledger, self.name)
+        return self.geometry.read_data(addr, way)
+
+    def write_block(self, addr: int, data: bytes, dirty: bool = True, charge: bool = True) -> None:
+        """Write a resident block; marks it MODIFIED unless ``dirty=False``."""
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: write to absent block {addr:#x}")
+        entry = self.tags.entry(parts.set_index, way)
+        if dirty:
+            entry.state = MESIState.MODIFIED
+        self.tags.touch(parts.set_index, way)
+        self.stats.writes += 1
+        self.htree.record_transfer()
+        if charge:
+            charge_cache_write(self.ledger, self.name)
+        self.geometry.write_data(addr, way, data)
+
+    def fill(self, addr: int, data: bytes, state: MESIState) -> Eviction | None:
+        """Allocate a block, evicting the LRU victim if needed.
+
+        Returns the eviction (with its data and dirtiness) so the caller -
+        the coherence engine - can write it back or drop it.
+        """
+        parts = self._parts(addr)
+        existing = self.tags.probe(parts.set_index, parts.tag)
+        if existing is not None:
+            raise CoherenceError(f"{self.name}: double fill of block {addr:#x}")
+        way = self.tags.victim_way(parts.set_index)
+        victim_entry = self.tags.entry(parts.set_index, way)
+        eviction = None
+        if victim_entry.valid:
+            victim_addr = self.geometry.rebuild_address(victim_entry.tag, parts.set_index)
+            victim_data = self.geometry.read_data(victim_addr, way)
+            eviction = Eviction(
+                addr=victim_addr, data=victim_data, dirty=victim_entry.state.dirty
+            )
+            if eviction.dirty:
+                self.stats.writebacks_out += 1
+        self.tags.install(parts.set_index, way, parts.tag, state)
+        self.geometry.write_data(addr, way, data)
+        self.stats.fills += 1
+        charge_cache_write(self.ledger, self.name)
+        return eviction
+
+    def invalidate(self, addr: int) -> tuple[bytes, bool] | None:
+        """Remove a block; returns ``(data, dirty)`` if it was present."""
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            return None
+        entry = self.tags.entry(parts.set_index, way)
+        data = self.geometry.read_data(addr, way)
+        dirty = entry.state.dirty
+        entry.invalidate()
+        return data, dirty
+
+    def peek_block(self, addr: int) -> bytes:
+        """Read a resident block without touching LRU, stats, or energy
+        (verification backdoor)."""
+        from ..bitops import bits_to_bytes
+
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: peek of absent block {addr:#x}")
+        sub, row = self.geometry.locate(addr, way)
+        return bits_to_bytes(sub.cells.read_row(row))
+
+    # -- CC support -------------------------------------------------------------
+
+    def locate(self, addr: int) -> tuple[ComputeSubarray, int]:
+        """``(sub-array, row)`` of a resident block for in-place compute."""
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: locate of absent block {addr:#x}")
+        return self.geometry.locate(addr, way)
+
+    def pin(self, addr: int, owner: int) -> None:
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            raise CoherenceError(f"{self.name}: pin of absent block {addr:#x}")
+        self.tags.pin(parts.set_index, way, owner)
+
+    def unpin(self, addr: int) -> None:
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is not None:
+            self.tags.unpin(parts.set_index, way)
+
+    def is_pinned(self, addr: int) -> bool:
+        parts = self._parts(addr)
+        way = self.tags.probe(parts.set_index, parts.tag)
+        if way is None:
+            return False
+        return self.tags.entry(parts.set_index, way).pinned
+
+    # -- debugging / inclusion audits ----------------------------------------------
+
+    def resident_addresses(self) -> list[int]:
+        """Addresses of all valid blocks (inclusion-invariant checks)."""
+        return [
+            self.geometry.rebuild_address(entry.tag, set_index)
+            for set_index, _way, entry in self.tags.valid_entries()
+        ]

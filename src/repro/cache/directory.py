@@ -1,0 +1,76 @@
+"""Coherence directory for one L3 NUCA slice (Table IV: directory MESI).
+
+Each L3 slice is the home node for the blocks that map to it and tracks,
+per block, which cores' private hierarchies hold a copy (``sharers``) and
+which single core, if any, holds it exclusively/modified (``owner``).
+
+Invariant: ``owner is not None`` implies ``sharers == {owner}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CoherenceError
+
+
+@dataclass
+class DirectoryEntry:
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+
+    def check(self) -> None:
+        if self.owner is not None and self.sharers != {self.owner}:
+            raise CoherenceError(
+                f"directory invariant broken: owner={self.owner} sharers={self.sharers}"
+            )
+
+
+class Directory:
+    """Sharer/owner tracking for the blocks homed at one slice."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, DirectoryEntry] = {}
+
+    def entry(self, block_addr: int) -> DirectoryEntry:
+        return self._entries.setdefault(block_addr, DirectoryEntry())
+
+    def peek(self, block_addr: int) -> DirectoryEntry | None:
+        return self._entries.get(block_addr)
+
+    def add_sharer(self, block_addr: int, core: int) -> None:
+        e = self.entry(block_addr)
+        e.sharers.add(core)
+        if e.owner is not None and e.owner != core:
+            raise CoherenceError(
+                f"block {block_addr:#x}: adding sharer {core} while owned by {e.owner}"
+            )
+
+    def set_owner(self, block_addr: int, core: int) -> None:
+        e = self.entry(block_addr)
+        e.sharers = {core}
+        e.owner = core
+
+    def clear_owner(self, block_addr: int) -> None:
+        e = self.entry(block_addr)
+        e.owner = None
+
+    def remove_sharer(self, block_addr: int, core: int) -> None:
+        e = self._entries.get(block_addr)
+        if e is None:
+            return
+        e.sharers.discard(core)
+        if e.owner == core:
+            e.owner = None
+        if not e.sharers:
+            del self._entries[block_addr]
+
+    def drop(self, block_addr: int) -> None:
+        self._entries.pop(block_addr, None)
+
+    def blocks(self) -> list[int]:
+        return list(self._entries)
+
+    def check_all(self) -> None:
+        for entry in self._entries.values():
+            entry.check()

@@ -1,0 +1,164 @@
+"""Operand-locality-aware cache geometry (Section IV-C, Figure 5).
+
+The geometry maps an address to (set, bank, block partition) and a
+(set, way) pair to a physical sub-array row:
+
+* the block offset is the low ``offset_bits`` of the address;
+* the *low* set-index bits select the bank, the next bits select the block
+  partition within the bank (Figure 5(b));
+* the remaining set-index bits select the row group inside the partition;
+* **all ways of a set map to the same block partition** (Figure 5(a)), so
+  operand locality never depends on run-time way choice.
+
+Consequently two addresses map to the same block partition iff their low
+``offset_bits + bank_bits + bp_bits`` address bits agree - the Table III
+"minimum address bits match" rule that lets software guarantee operand
+locality with page alignment alone.
+
+Each block partition is realized by one :class:`~repro.sram.ComputeSubarray`
+whose rows each hold one cache block; any two blocks of a partition can be
+computed on in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AddressError
+from ..params import CacheLevelConfig
+from ..sram import ComputeSubarray, SubarrayTiming
+
+
+@dataclass(frozen=True)
+class AddressParts:
+    """Decoded address fields for one cache level."""
+
+    addr: int
+    tag: int
+    set_index: int
+    offset: int
+    bank: int
+    bp: int
+    row_group: int
+
+    @property
+    def partition(self) -> int:
+        """Flat block-partition id: bank-major ordering."""
+        return self.bank * self._bps_per_bank + self.bp
+
+    # populated by CacheGeometry.decode via object.__setattr__-free trick:
+    # store bps_per_bank alongside to keep the dataclass frozen and simple.
+    _bps_per_bank: int = 1
+
+
+class CacheGeometry:
+    """Address decoding plus the physical sub-array grid of one cache level."""
+
+    def __init__(
+        self,
+        config: CacheLevelConfig,
+        timing: SubarrayTiming | None = None,
+        max_activated: int = 64,
+        wordline_underdrive: bool = True,
+    ) -> None:
+        self.config = config
+        self.timing = timing or SubarrayTiming()
+        # One extra row per sub-array is reserved for cc_search key
+        # replication: the key must share bit-lines with the data it is
+        # compared against, so each block partition holds its own copy.
+        self.key_row = config.blocks_per_partition
+        self.subarrays = [
+            ComputeSubarray(
+                rows=config.blocks_per_partition + 1,
+                cols=config.block_size * 8,
+                timing=self.timing,
+                max_activated=max_activated,
+                wordline_underdrive=wordline_underdrive,
+            )
+            for _ in range(config.num_partitions)
+        ]
+
+    # -- address decode -------------------------------------------------------
+
+    def decode(self, addr: int) -> AddressParts:
+        """Split an address into tag/set/offset/bank/partition fields."""
+        if addr < 0:
+            raise AddressError(f"negative address {addr:#x}")
+        cfg = self.config
+        offset = addr & (cfg.block_size - 1)
+        set_index = (addr >> cfg.offset_bits) & (cfg.sets - 1)
+        tag = addr >> (cfg.offset_bits + cfg.set_index_bits)
+        bank = set_index & (cfg.banks - 1)
+        bp = (set_index >> cfg.bank_bits) & (cfg.bps_per_bank - 1)
+        row_group = set_index >> (cfg.bank_bits + cfg.bp_bits)
+        return AddressParts(
+            addr=addr,
+            tag=tag,
+            set_index=set_index,
+            offset=offset,
+            bank=bank,
+            bp=bp,
+            row_group=row_group,
+            _bps_per_bank=cfg.bps_per_bank,
+        )
+
+    def partition_of(self, addr: int) -> int:
+        """Flat block-partition id an address maps to."""
+        return self.decode(addr).partition
+
+    def row_of(self, set_index: int, way: int) -> int:
+        """Physical sub-array row of (set, way).
+
+        All ways of a set sit in consecutive rows of the set's partition,
+        implementing the way->partition mapping of Figure 5(a).
+        """
+        cfg = self.config
+        if not 0 <= way < cfg.ways:
+            raise AddressError(f"way {way} outside 0..{cfg.ways - 1}")
+        row_group = set_index >> (cfg.bank_bits + cfg.bp_bits)
+        return row_group * cfg.ways + way
+
+    def subarray_for(self, addr: int) -> ComputeSubarray:
+        """The sub-array (block partition) holding an address."""
+        return self.subarrays[self.partition_of(addr)]
+
+    # -- physical data plane ----------------------------------------------------
+
+    def read_data(self, addr: int, way: int) -> bytes:
+        """Read the 64-byte block at (addr's set, way) from its sub-array."""
+        parts = self.decode(addr)
+        row = self.row_of(parts.set_index, way)
+        return self.subarrays[parts.partition].read_block(row)
+
+    def write_data(self, addr: int, way: int, data: bytes) -> None:
+        """Write a 64-byte block into (addr's set, way)'s sub-array row."""
+        parts = self.decode(addr)
+        row = self.row_of(parts.set_index, way)
+        self.subarrays[parts.partition].write_block(row, data)
+
+    def locate(self, addr: int, way: int) -> tuple[ComputeSubarray, int]:
+        """``(sub-array, row)`` of a resident block - the handle the CC
+        controller uses to issue in-place operations."""
+        parts = self.decode(addr)
+        row = self.row_of(parts.set_index, way)
+        return self.subarrays[parts.partition], row
+
+    def write_key(self, partition: int, key: bytes) -> int:
+        """Replicate a search key into a partition's reserved key row.
+
+        Returns the key row index so the caller can issue the in-place
+        search against it.
+        """
+        self.subarrays[partition].write_block(self.key_row, key)
+        return self.key_row
+
+    # -- reconstruction (for tests/debug) ---------------------------------------
+
+    def rebuild_address(self, tag: int, set_index: int, offset: int = 0) -> int:
+        """Inverse of :meth:`decode` (round-trip tested)."""
+        cfg = self.config
+        return (
+            (tag << (cfg.offset_bits + cfg.set_index_bits))
+            | (set_index << cfg.offset_bits)
+            | offset
+        )

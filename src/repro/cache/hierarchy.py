@@ -1,0 +1,527 @@
+"""The coherent three-level cache hierarchy (Table IV).
+
+Private per-core L1-D and L2 (both inclusive), a shared L3 distributed into
+NUCA slices on a ring, a directory per slice, and DRAM behind it all.
+Transactions are atomic (each access completes before the next begins),
+which is sufficient for the paper's analysis: the CC controller interacts
+with coherence only through writebacks, invalidations, and pin releases.
+
+Pages map to the NUCA slice of the first core that touches them
+(Section IV-C: "pages are mapped to a NUCA slice closest to the core
+actively accessing them").
+
+The hierarchy exposes, besides byte-granularity ``read``/``write`` used by
+the core model, the block-granularity hooks the CC controller needs:
+
+* :meth:`probe_residency` - which levels hold all blocks of an operand;
+* :meth:`cc_prepare` - fetch/flush/pin an operand block at a compute level,
+  returning the latency incurred;
+* :meth:`cc_release` - unpin after the operation completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.accounting import Component, EnergyLedger
+from ..errors import AddressError, CoherenceError
+from ..params import BLOCK_SIZE, PAGE_SIZE, MachineConfig
+from .block import MESIState
+from .cache import CacheLevel, Eviction
+from .directory import Directory
+from .memory import MainMemory
+from .ring import RingInterconnect
+
+L1 = "L1"
+L2 = "L2"
+L3 = "L3"
+LEVELS = (L1, L2, L3)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one block access through the hierarchy."""
+
+    data: bytes
+    latency: int
+    hit_level: str
+
+
+def block_of(addr: int) -> int:
+    return addr & ~(BLOCK_SIZE - 1)
+
+
+class CacheHierarchy:
+    """Cores' private caches + shared L3 slices + directory + memory."""
+
+    def __init__(self, config: MachineConfig, ledger: EnergyLedger | None = None,
+                 wordline_underdrive: bool = True) -> None:
+        self.config = config
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        cpc = config.cc.commands_per_cycle
+        self.l1 = [
+            CacheLevel(config.l1d, self.ledger, commands_per_cycle=cpc,
+                       wordline_underdrive=wordline_underdrive)
+            for _ in range(config.cores)
+        ]
+        self.l2 = [
+            CacheLevel(config.l2, self.ledger, commands_per_cycle=cpc,
+                       wordline_underdrive=wordline_underdrive)
+            for _ in range(config.cores)
+        ]
+        self.l3 = [
+            CacheLevel(config.l3_slice, self.ledger, commands_per_cycle=cpc,
+                       wordline_underdrive=wordline_underdrive)
+            for _ in range(config.l3_slices)
+        ]
+        self.directory = [Directory() for _ in range(config.l3_slices)]
+        self.ring = RingInterconnect(config.ring, self.ledger)
+        self.memory = MainMemory(
+            config.memory_size,
+            latency=config.memory.latency,
+            energy_per_block_pj=config.memory.energy_per_block,
+        )
+        self._page_to_slice: dict[int, int] = {}
+        self.forced_unpins: list[tuple[str, int, int]] = []
+
+    # -- NUCA home mapping ---------------------------------------------------------
+
+    def home_slice(self, addr: int, core: int = 0) -> int:
+        """Slice homing ``addr``; first-touch page placement."""
+        page = addr // PAGE_SIZE
+        if page not in self._page_to_slice:
+            self._page_to_slice[page] = RingInterconnect.core_stop(
+                core, self.config.l3_slices
+            )
+        return self._page_to_slice[page]
+
+    def place_page(self, addr: int, slice_id: int) -> None:
+        """Explicitly place a page on a slice (OS page-coloring hook)."""
+        if not 0 <= slice_id < self.config.l3_slices:
+            raise AddressError(f"slice {slice_id} outside 0..{self.config.l3_slices - 1}")
+        self._page_to_slice[addr // PAGE_SIZE] = slice_id
+
+    # -- private-hierarchy helpers ----------------------------------------------------
+
+    def _freshest_private(self, core: int, addr: int) -> tuple[bytes, bool] | None:
+        """Newest (data, dirty) copy in a core's private hierarchy, if any."""
+        l1_state = self.l1[core].state_of(addr)
+        if l1_state.dirty:
+            return self.l1[core].read_block(addr, charge=False), True
+        l2_state = self.l2[core].state_of(addr)
+        if l2_state.dirty:
+            return self.l2[core].read_block(addr, charge=False), True
+        if l1_state.readable:
+            return self.l1[core].read_block(addr, charge=False), False
+        if l2_state.readable:
+            return self.l2[core].read_block(addr, charge=False), False
+        return None
+
+    def _invalidate_private(self, core: int, addr: int) -> tuple[bytes | None, bool]:
+        """Invalidate a core's L1+L2 copies; returns freshest (data, dirty)."""
+        for level in (self.l1[core], self.l2[core]):
+            if level.is_pinned(addr):
+                self.forced_unpins.append((level.name, core, addr))
+                level.unpin(addr)
+        l1_res = self.l1[core].invalidate(addr)
+        l2_res = self.l2[core].invalidate(addr)
+        if l1_res and l1_res[1]:
+            return l1_res[0], True
+        if l2_res and l2_res[1]:
+            return l2_res[0], True
+        if l2_res:
+            return l2_res[0], False
+        if l1_res:
+            return l1_res[0], False
+        return None, False
+
+    def _downgrade_private(self, core: int, addr: int) -> bytes | None:
+        """Downgrade a core's copies to SHARED; returns dirty data if any."""
+        dirty_data = None
+        for level in (self.l1[core], self.l2[core]):
+            state = level.state_of(addr)
+            if state is MESIState.INVALID:
+                continue
+            if state.dirty and dirty_data is None:
+                dirty_data = level.read_block(addr, charge=False)
+            level.set_state(addr, MESIState.SHARED)
+        return dirty_data
+
+    # -- eviction handling --------------------------------------------------------------
+
+    def _handle_l1_eviction(self, core: int, ev: Eviction) -> None:
+        if not ev.dirty:
+            return
+        if not self.l2[core].contains(ev.addr):
+            raise CoherenceError(
+                f"inclusion violated: L1 victim {ev.addr:#x} absent from L2 of core {core}"
+            )
+        self.l2[core].write_block(ev.addr, ev.data, dirty=True)
+
+    def _handle_l2_eviction(self, core: int, ev: Eviction) -> None:
+        data, dirty = ev.data, ev.dirty
+        l1_res = self.l1[core].invalidate(ev.addr)
+        if l1_res and l1_res[1]:
+            data, dirty = l1_res[0], True
+        slice_id = self.home_slice(ev.addr, core)
+        if dirty:
+            self.ring.send_block(RingInterconnect.core_stop(core, self.config.l3_slices),
+                                 slice_id)
+            if not self.l3[slice_id].contains(ev.addr):
+                raise CoherenceError(
+                    f"inclusion violated: L2 victim {ev.addr:#x} absent from L3 slice {slice_id}"
+                )
+            self.l3[slice_id].write_block(ev.addr, data, dirty=True)
+        self.directory[slice_id].remove_sharer(ev.addr, core)
+
+    def _handle_l3_eviction(self, slice_id: int, ev: Eviction) -> None:
+        data, dirty = ev.data, ev.dirty
+        entry = self.directory[slice_id].peek(ev.addr)
+        if entry:
+            for core in sorted(entry.sharers):
+                inv_data, inv_dirty = self._invalidate_private(core, ev.addr)
+                if inv_dirty and inv_data is not None:
+                    data, dirty = inv_data, True
+        self.directory[slice_id].drop(ev.addr)
+        if dirty:
+            self.memory.write_block(ev.addr, data)
+            self.ledger.add(Component.MEMORY, self.memory.energy_per_block_pj)
+
+    # -- L3/directory transaction -----------------------------------------------------------
+
+    def _l3_get(self, core: int, addr: int, for_write: bool) -> tuple[bytes, int]:
+        """Home-node transaction: returns (data, latency at/beyond L3)."""
+        slice_id = self.home_slice(addr, core)
+        l3 = self.l3[slice_id]
+        directory = self.directory[slice_id]
+        core_stop = RingInterconnect.core_stop(core, self.config.l3_slices)
+        latency = self.ring.send_control(core_stop, slice_id)
+
+        entry = directory.entry(addr)
+        # Recall / invalidate remote copies.
+        if entry.owner is not None and entry.owner != core:
+            owner = entry.owner
+            if for_write:
+                data, dirty = self._invalidate_private(owner, addr)
+            else:
+                data = self._downgrade_private(owner, addr)
+                dirty = data is not None
+            if dirty and data is not None:
+                owner_stop = RingInterconnect.core_stop(owner, self.config.l3_slices)
+                latency += self.ring.send_block(owner_stop, slice_id)
+                if not l3.contains(addr):
+                    raise CoherenceError(
+                        f"owner recall for {addr:#x} found no L3 copy (inclusion)"
+                    )
+                l3.write_block(addr, data, dirty=True)
+            if for_write:
+                directory.remove_sharer(addr, owner)
+            else:
+                directory.clear_owner(addr)
+        elif for_write:
+            for sharer in sorted(entry.sharers - {core}):
+                self._invalidate_private(sharer, addr)
+                directory.remove_sharer(addr, sharer)
+
+        # Supply the data from L3, fetching from memory on an L3 miss.
+        if l3.contains(addr):
+            latency += l3.config.hit_latency
+            data = l3.read_block(addr)
+        else:
+            latency += l3.config.hit_latency + self.memory.latency
+            data = self.memory.read_block(addr)
+            self.ledger.add(Component.MEMORY, self.memory.energy_per_block_pj)
+            ev = l3.fill(addr, data, MESIState.EXCLUSIVE)
+            if ev:
+                self._handle_l3_eviction(slice_id, ev)
+
+        # Grant.
+        if for_write:
+            directory.set_owner(addr, core)
+        else:
+            entry = directory.entry(addr)
+            entry.sharers.add(core)
+            entry.owner = core if entry.sharers == {core} else None
+        latency += self.ring.send_block(slice_id, core_stop)
+        return data, latency
+
+    # -- the core-facing access path ------------------------------------------------------
+
+    def access_block(self, core: int, addr: int, for_write: bool) -> AccessResult:
+        """Bring a block to the core's L1 with read or write permission."""
+        addr = block_of(addr)
+        l1, l2 = self.l1[core], self.l2[core]
+        l1_lat = l1.config.hit_latency
+
+        l1_way = l1.lookup(addr)
+        if l1_way is not None:
+            state = l1.state_of(addr)
+            if not for_write or state.writable:
+                data = l1.read_block(addr)
+                if for_write:
+                    l1.set_state(addr, MESIState.MODIFIED)
+                return AccessResult(data, l1_lat, L1)
+            # S -> M upgrade through the directory.
+            data = l1.read_block(addr)
+            _, up_lat = self._l3_get(core, addr, for_write=True)
+            l1.set_state(addr, MESIState.MODIFIED)
+            if l2.contains(addr):
+                l2.set_state(addr, MESIState.EXCLUSIVE)
+            return AccessResult(data, l1_lat + up_lat, L3)
+
+        l2_lat = l2.config.hit_latency
+        l2_way = l2.lookup(addr)
+        if l2_way is not None and (not for_write or l2.state_of(addr).writable):
+            data = l2.read_block(addr)
+            state = MESIState.MODIFIED if for_write else l2.state_of(addr)
+            ev = l1.fill(addr, data, state)
+            if ev:
+                self._handle_l1_eviction(core, ev)
+            return AccessResult(data, l1_lat + l2_lat, L2)
+
+        # Miss (or upgrade-miss) to the home L3 slice.
+        if l2_way is not None:
+            data = l2.read_block(addr)
+            _, l3_lat = self._l3_get(core, addr, for_write=True)
+            l2.set_state(addr, MESIState.EXCLUSIVE)
+            ev = l1.fill(addr, data, MESIState.MODIFIED)
+            if ev:
+                self._handle_l1_eviction(core, ev)
+            return AccessResult(data, l1_lat + l2_lat + l3_lat, L3)
+
+        data, l3_lat = self._l3_get(core, addr, for_write)
+        entry = self.directory[self.home_slice(addr, core)].entry(addr)
+        if for_write:
+            l2_state, l1_state = MESIState.EXCLUSIVE, MESIState.MODIFIED
+        elif entry.owner == core:
+            l2_state = l1_state = MESIState.EXCLUSIVE
+        else:
+            l2_state = l1_state = MESIState.SHARED
+        ev = l2.fill(addr, data, l2_state)
+        if ev:
+            self._handle_l2_eviction(core, ev)
+        ev = l1.fill(addr, data, l1_state)
+        if ev:
+            self._handle_l1_eviction(core, ev)
+        return AccessResult(data, l1_lat + l2_lat + l3_lat, L3)
+
+    # -- byte-granularity interface used by the core model ---------------------------------
+
+    def read(self, core: int, addr: int, size: int) -> tuple[bytes, int]:
+        """Read ``size`` bytes; returns (data, total latency)."""
+        if size == 0:
+            return b"", 0
+        out = bytearray()
+        latency = 0
+        for block in range(block_of(addr), block_of(addr + size - 1) + 1, BLOCK_SIZE):
+            res = self.access_block(core, block, for_write=False)
+            latency += res.latency
+            lo = max(addr, block) - block
+            hi = min(addr + size, block + BLOCK_SIZE) - block
+            out += res.data[lo:hi]
+        return bytes(out), latency
+
+    def write(self, core: int, addr: int, data: bytes) -> int:
+        """Write bytes (read-modify-write at block granularity); returns latency."""
+        if not data:
+            return 0
+        latency = 0
+        offset = 0
+        size = len(data)
+        for block in range(block_of(addr), block_of(addr + size - 1) + 1, BLOCK_SIZE):
+            res = self.access_block(core, block, for_write=True)
+            latency += res.latency
+            lo = max(addr, block) - block
+            hi = min(addr + size, block + BLOCK_SIZE) - block
+            merged = bytearray(res.data)
+            merged[lo:hi] = data[offset : offset + (hi - lo)]
+            self.l1[core].write_block(block, bytes(merged), dirty=True, charge=False)
+            offset += hi - lo
+        return latency
+
+    def coherent_peek(self, addr: int, size: int) -> bytes:
+        """The architecturally-current value of a byte range, free of charge.
+
+        Finds the freshest copy (a dirty private copy, else L3, else
+        memory) without perturbing stats - used for verification and to
+        model register contents.
+        """
+        out = bytearray()
+        end = addr + size
+        block = block_of(addr)
+        while block < end:
+            data = self._peek_block(block)
+            lo = max(addr, block) - block
+            hi = min(end, block + BLOCK_SIZE) - block
+            out += data[lo:hi]
+            block += BLOCK_SIZE
+        return bytes(out)
+
+    def _peek_block(self, addr: int) -> bytes:
+        for core in range(self.config.cores):
+            for level in (self.l1[core], self.l2[core]):
+                if level.state_of(addr).dirty:
+                    return level.peek_block(addr)
+        slice_id = self._page_to_slice.get(addr // PAGE_SIZE)
+        if slice_id is not None and self.l3[slice_id].contains(addr):
+            return self.l3[slice_id].peek_block(addr)
+        return self.memory.peek(addr, BLOCK_SIZE)
+
+    # -- CC controller hooks (Section IV-E) --------------------------------------------------
+
+    def level_cache(self, level: str, core: int, addr: int) -> CacheLevel:
+        """The concrete cache a (level, core, addr) triple refers to."""
+        if level == L1:
+            return self.l1[core]
+        if level == L2:
+            return self.l2[core]
+        if level == L3:
+            return self.l3[self.home_slice(addr, core)]
+        raise AddressError(f"unknown cache level {level!r}")
+
+    def probe_residency(self, core: int, block_addrs: list[int]) -> dict[str, bool]:
+        """For each level, are *all* the given blocks resident there?
+
+        Used by the controller's level-selection policy: compute at the
+        highest level where every operand is present, else at L3.
+        """
+        res = {}
+        res[L1] = all(self.l1[core].contains(a) for a in block_addrs)
+        res[L2] = all(self.l2[core].contains(a) for a in block_addrs)
+        res[L3] = all(
+            self.l3[self.home_slice(a, core)].contains(a) for a in block_addrs
+        )
+        return res
+
+    def cc_prepare(self, core: int, level: str, addr: int, is_dest: bool,
+                   skip_fetch: bool = False) -> int:
+        """Make one operand block computable at ``level``; returns latency.
+
+        Dirty copies in skipped (higher) levels are written back using the
+        existing writeback machinery (Section IV-F); destination operands
+        additionally have stale higher-level copies invalidated.  Missing
+        blocks are fetched (from memory for L3, through the normal access
+        path for L1/L2); fully-overwritten destinations skip the fetch
+        (Section IV-E's optimization).
+        """
+        addr = block_of(addr)
+        if level == L3:
+            return self._cc_prepare_l3(core, addr, is_dest, skip_fetch)
+        target = self.level_cache(level, core, addr)
+        latency = 0  # a resident, ready operand costs only the tag probe,
+        # which is folded into the controller's command-issue time
+        if not target.contains(addr):
+            res = self.access_block(core, addr, for_write=is_dest)
+            latency += res.latency
+        elif is_dest:
+            state = target.state_of(addr)
+            if not state.writable:
+                res = self.access_block(core, addr, for_write=True)
+                latency += res.latency
+        # Flush/invalidate the levels above the compute level.
+        if level == L2:
+            l1 = self.l1[core]
+            if l1.contains(addr):
+                state = l1.state_of(addr)
+                if state.dirty:
+                    data = l1.read_block(addr, charge=False)
+                    self.l2[core].write_block(addr, data, dirty=True)
+                    latency += self.l2[core].config.hit_latency
+                l1.invalidate(addr)
+        if is_dest:
+            target.set_state(addr, MESIState.MODIFIED)
+        return latency
+
+    def _cc_prepare_l3(self, core: int, addr: int, is_dest: bool, skip_fetch: bool) -> int:
+        slice_id = self.home_slice(addr, core)
+        l3 = self.l3[slice_id]
+        directory = self.directory[slice_id]
+        # Fast path: the block is resident, clean of private copies, and
+        # already writable if needed - only the tag probe remains, which is
+        # folded into the controller's command-issue serialization.
+        entry = directory.peek(addr)
+        if l3.contains(addr) and not (entry and entry.sharers):
+            if is_dest:
+                l3.set_state(addr, MESIState.MODIFIED)
+            return 0
+        latency = self.ring.send_control(
+            RingInterconnect.core_stop(core, self.config.l3_slices), slice_id
+        )
+        if entry:
+            for holder in sorted(entry.sharers):
+                if is_dest:
+                    data, dirty = self._invalidate_private(holder, addr)
+                    directory.remove_sharer(addr, holder)
+                else:
+                    data = self._downgrade_private(holder, addr)
+                    dirty = data is not None
+                    directory.clear_owner(addr)
+                if dirty and data is not None:
+                    if not l3.contains(addr):
+                        raise CoherenceError(
+                            f"CC writeback for {addr:#x} found no L3 copy (inclusion)"
+                        )
+                    holder_stop = RingInterconnect.core_stop(holder, self.config.l3_slices)
+                    latency += self.ring.send_block(holder_stop, slice_id)
+                    l3.write_block(addr, data, dirty=True)
+        if not l3.contains(addr):
+            if skip_fetch and is_dest:
+                ev = l3.fill(addr, bytes(BLOCK_SIZE), MESIState.MODIFIED)
+            else:
+                latency += self.memory.latency
+                data = self.memory.read_block(addr)
+                self.ledger.add(Component.MEMORY, self.memory.energy_per_block_pj)
+                state = MESIState.MODIFIED if is_dest else MESIState.EXCLUSIVE
+                ev = l3.fill(addr, data, state)
+            if ev:
+                self._handle_l3_eviction(slice_id, ev)
+        elif is_dest:
+            l3.set_state(addr, MESIState.MODIFIED)
+        latency += l3.config.hit_latency
+        return latency
+
+    def cc_release(self, core: int, level: str, addr: int) -> None:
+        """Unpin an operand block after its CC operation completes."""
+        self.level_cache(level, core, block_of(addr)).unpin(block_of(addr))
+
+    # -- invariant audits (used by property tests) ---------------------------------------------
+
+    def check_inclusion(self) -> None:
+        """Assert L1 subset-of L2 subset-of L3 and directory consistency."""
+        for core in range(self.config.cores):
+            for addr in self.l1[core].resident_addresses():
+                if not self.l2[core].contains(addr):
+                    raise CoherenceError(
+                        f"L1 block {addr:#x} of core {core} missing from its L2"
+                    )
+            for addr in self.l2[core].resident_addresses():
+                slice_id = self.home_slice(addr, core)
+                if not self.l3[slice_id].contains(addr):
+                    raise CoherenceError(
+                        f"L2 block {addr:#x} of core {core} missing from L3 slice {slice_id}"
+                    )
+                entry = self.directory[slice_id].peek(addr)
+                if entry is None or core not in entry.sharers:
+                    raise CoherenceError(
+                        f"L2 block {addr:#x} of core {core} not in directory"
+                    )
+        for directory in self.directory:
+            directory.check_all()
+
+    def check_single_writer(self) -> None:
+        """Assert the SWMR invariant: a dirty private copy is exclusive."""
+        blocks: dict[int, list[tuple[int, MESIState]]] = {}
+        for core in range(self.config.cores):
+            for level in (self.l1[core], self.l2[core]):
+                for addr in level.resident_addresses():
+                    state = level.state_of(addr)
+                    blocks.setdefault(addr, []).append((core, state))
+        for addr, holders in blocks.items():
+            writers = {c for c, s in holders if s.writable}
+            readers = {c for c, s in holders}
+            if len(writers) > 1:
+                raise CoherenceError(f"block {addr:#x} writable in cores {writers}")
+            if writers and readers - writers:
+                raise CoherenceError(
+                    f"block {addr:#x} writable in {writers} but shared in {readers - writers}"
+                )

@@ -1,0 +1,53 @@
+"""H-tree in-cache interconnect model.
+
+Within a cache, data moves between the sub-arrays and the cache controller
+over an H-tree.  For large caches this wire transfer dominates read energy
+(Table I: ~80% of a 2 MB L3-slice read).  In-place CC operations skip the
+H-tree entirely; near-place operations and all conventional accesses pay it.
+
+The address/command bus of the H-tree is *not* replicated (Section IV-D),
+which serializes CC block-command delivery - the model exposes this as a
+per-cycle command issue budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..energy.tables import CACHE_ACCESS_ENERGY_PJ, CACHE_IC_ENERGY_PJ
+
+
+@dataclass
+class HTree:
+    """Energy/latency bookkeeping for one cache level's internal interconnect."""
+
+    level_name: str
+    commands_per_cycle: int = 1
+    data_transfers: int = 0
+    commands_issued: int = 0
+
+    def _table_level(self) -> str:
+        return "L1-D" if self.level_name.startswith("L1") else self.level_name
+
+    def transfer_energy_pj(self) -> float:
+        """Energy of moving one 64-byte block over the H-tree (Table I)."""
+        return CACHE_IC_ENERGY_PJ[self._table_level()]
+
+    def record_transfer(self) -> float:
+        """Account one block transfer; returns its energy in pJ."""
+        self.data_transfers += 1
+        return self.transfer_energy_pj()
+
+    def record_command(self) -> None:
+        """Account one CC block-command broadcast over the address bus."""
+        self.commands_issued += 1
+
+    def command_issue_cycles(self, n_commands: int) -> int:
+        """Cycles to stream ``n_commands`` block-ops down the shared bus."""
+        return (n_commands + self.commands_per_cycle - 1) // self.commands_per_cycle
+
+    def htree_fraction(self) -> float:
+        """Fraction of read energy spent on wires for this level."""
+        level = self._table_level()
+        ic = CACHE_IC_ENERGY_PJ[level]
+        return ic / (ic + CACHE_ACCESS_ENERGY_PJ[level])

@@ -1,0 +1,64 @@
+"""Flat main-memory model (Table IV: 120-cycle latency).
+
+Backs the cache hierarchy with a numpy byte array.  Reads and writes happen
+at cache-block granularity from the hierarchy's point of view, but byte-
+granularity helpers exist for loading application data and for verification
+against the caches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AddressError
+from ..params import BLOCK_SIZE
+
+
+class MainMemory:
+    """DRAM backing store."""
+
+    def __init__(self, size: int, latency: int = 120, energy_per_block_pj: float = 15000.0):
+        if size % BLOCK_SIZE:
+            raise AddressError("memory size must be a multiple of the block size")
+        self.size = size
+        self.latency = latency
+        self.energy_per_block_pj = energy_per_block_pj
+        self._data = np.zeros(size, dtype=np.uint8)
+        self.block_reads = 0
+        self.block_writes = 0
+
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or addr + length > self.size:
+            raise AddressError(
+                f"access [{addr:#x}, {addr + length:#x}) outside memory of {self.size:#x} bytes"
+            )
+
+    def read_block(self, addr: int) -> bytes:
+        """Read one aligned 64-byte block."""
+        if addr % BLOCK_SIZE:
+            raise AddressError(f"unaligned block read at {addr:#x}")
+        self._check(addr, BLOCK_SIZE)
+        self.block_reads += 1
+        return self._data[addr : addr + BLOCK_SIZE].tobytes()
+
+    def write_block(self, addr: int, data: bytes) -> None:
+        """Write one aligned 64-byte block."""
+        if addr % BLOCK_SIZE:
+            raise AddressError(f"unaligned block write at {addr:#x}")
+        if len(data) != BLOCK_SIZE:
+            raise AddressError(f"block write of {len(data)} bytes")
+        self._check(addr, BLOCK_SIZE)
+        self.block_writes += 1
+        self._data[addr : addr + BLOCK_SIZE] = np.frombuffer(data, dtype=np.uint8)
+
+    # -- byte-granularity backdoor (loading programs/data, verification) ---------
+
+    def load(self, addr: int, data: bytes) -> None:
+        """Backdoor write that bypasses access counters (initialization)."""
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = np.frombuffer(bytes(data), dtype=np.uint8)
+
+    def peek(self, addr: int, length: int) -> bytes:
+        """Backdoor read that bypasses access counters (verification)."""
+        self._check(addr, length)
+        return self._data[addr : addr + length].tobytes()

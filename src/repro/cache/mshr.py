@@ -1,0 +1,51 @@
+"""Miss Status Holding Registers.
+
+The timing model uses MSHR occupancy to bound memory-level parallelism:
+the number of outstanding misses a level can sustain caps how much miss
+latency overlaps.  The functional protocol in this library is atomic, so
+MSHRs here are an accounting structure (allocate/retire around each miss)
+rather than a transient-state tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+
+@dataclass
+class MSHRFile:
+    """A fixed pool of miss-tracking entries."""
+
+    capacity: int = 16
+    outstanding: dict[int, str] = field(default_factory=dict)
+    peak: int = 0
+    allocations: int = 0
+    stalls: int = 0
+
+    def allocate(self, block_addr: int, kind: str = "read") -> bool:
+        """Reserve an entry for a missing block.
+
+        Returns False (and counts a stall) when the file is full - callers
+        model this as lost memory-level parallelism.  A second miss to the
+        same block coalesces onto the existing entry.
+        """
+        if block_addr in self.outstanding:
+            return True
+        if len(self.outstanding) >= self.capacity:
+            self.stalls += 1
+            return False
+        self.outstanding[block_addr] = kind
+        self.allocations += 1
+        self.peak = max(self.peak, len(self.outstanding))
+        return True
+
+    def retire(self, block_addr: int) -> None:
+        if block_addr not in self.outstanding:
+            raise ReproError(f"retiring MSHR for {block_addr:#x} that was never allocated")
+        del self.outstanding[block_addr]
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.outstanding)

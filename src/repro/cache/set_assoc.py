@@ -1,0 +1,135 @@
+"""Set-associative tag array with LRU replacement and CC pinning.
+
+The tag array is pure metadata: the data plane lives in the sub-arrays
+managed by :class:`~repro.cache.geometry.CacheGeometry`.  Replacement is
+true LRU.  Lines pinned by the CC controller are excluded from victim
+selection and promoted to MRU while their operation waits for missing
+operands (Section IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AddressError, PinnedLineError
+from ..params import CacheLevelConfig
+from .block import MESIState, TagEntry
+
+
+@dataclass
+class SetAssocStats:
+    lookups: int = 0
+    hits: int = 0
+    evictions: int = 0
+    pinned_evictions_avoided: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+
+class SetAssociativeArray:
+    """Tags, states, LRU and pins for one cache level."""
+
+    def __init__(self, config: CacheLevelConfig) -> None:
+        self.config = config
+        self._sets: list[list[TagEntry]] = [
+            [TagEntry() for _ in range(config.ways)] for _ in range(config.sets)
+        ]
+        self._clock = 0
+        self.stats = SetAssocStats()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def _entries(self, set_index: int) -> list[TagEntry]:
+        if not 0 <= set_index < self.config.sets:
+            raise AddressError(f"set {set_index} outside 0..{self.config.sets - 1}")
+        return self._sets[set_index]
+
+    def lookup(self, set_index: int, tag: int) -> int | None:
+        """Return the way holding (set, tag), or None on miss."""
+        self.stats.lookups += 1
+        for way, entry in enumerate(self._entries(set_index)):
+            if entry.valid and entry.tag == tag:
+                self.stats.hits += 1
+                return way
+        return None
+
+    def probe(self, set_index: int, tag: int) -> int | None:
+        """Like :meth:`lookup` but without touching statistics (used by
+        coherence probes and CC level-selection)."""
+        for way, entry in enumerate(self._entries(set_index)):
+            if entry.valid and entry.tag == tag:
+                return way
+        return None
+
+    def entry(self, set_index: int, way: int) -> TagEntry:
+        entries = self._entries(set_index)
+        if not 0 <= way < self.config.ways:
+            raise AddressError(f"way {way} outside 0..{self.config.ways - 1}")
+        return entries[way]
+
+    # -- replacement --------------------------------------------------------------
+
+    def touch(self, set_index: int, way: int) -> None:
+        """Promote (set, way) to MRU."""
+        self._clock += 1
+        self.entry(set_index, way).lru = self._clock
+
+    def victim_way(self, set_index: int) -> int:
+        """LRU victim among unpinned ways; invalid ways win immediately."""
+        entries = self._entries(set_index)
+        for way, entry in enumerate(entries):
+            if not entry.valid:
+                return way
+        candidates = [(e.lru, w) for w, e in enumerate(entries) if not e.pinned]
+        if not candidates:
+            raise PinnedLineError(
+                f"all {self.config.ways} ways of set {set_index} are pinned by CC operations"
+            )
+        skipped = self.config.ways - len(candidates)
+        if skipped:
+            self.stats.pinned_evictions_avoided += skipped
+        return min(candidates)[1]
+
+    def install(self, set_index: int, way: int, tag: int, state: MESIState) -> None:
+        """Fill (set, way) with a new tag in the given state, MRU position."""
+        entry = self.entry(set_index, way)
+        if entry.valid:
+            self.stats.evictions += 1
+        entry.tag = tag
+        entry.state = state
+        entry.pinned = False
+        entry.pin_owner = None
+        self.touch(set_index, way)
+
+    # -- pinning (Section IV-E) -----------------------------------------------------
+
+    def pin(self, set_index: int, way: int, owner: int) -> None:
+        """Pin a line for an in-flight CC operation and promote it to MRU."""
+        entry = self.entry(set_index, way)
+        if entry.pinned and entry.pin_owner != owner:
+            raise PinnedLineError(
+                f"set {set_index} way {way} already pinned by CC instruction "
+                f"{entry.pin_owner}"
+            )
+        entry.pinned = True
+        entry.pin_owner = owner
+        self.touch(set_index, way)
+
+    def unpin(self, set_index: int, way: int) -> None:
+        entry = self.entry(set_index, way)
+        entry.pinned = False
+        entry.pin_owner = None
+
+    def pinned_ways(self, set_index: int) -> list[int]:
+        return [w for w, e in enumerate(self._entries(set_index)) if e.pinned]
+
+    # -- iteration (scrubbing, inclusion checks) -------------------------------------
+
+    def valid_entries(self):
+        """Yield ``(set_index, way, entry)`` for every valid line."""
+        for set_index, entries in enumerate(self._sets):
+            for way, entry in enumerate(entries):
+                if entry.valid:
+                    yield set_index, way, entry

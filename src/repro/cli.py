@@ -1,0 +1,189 @@
+"""Command-line interface: regenerate the paper's exhibits from a shell.
+
+Usage::
+
+    python -m repro fig7             # micro-benchmarks (Fig 7a-c)
+    python -m repro fig3             # energy proportions (Fig 3 top)
+    python -m repro fig8             # in-place vs near-place + levels
+    python -m repro fig9 --scale 0.5 # applications (Fig 9a-b)
+    python -m repro fig10            # checkpoint overheads
+    python -m repro fig11            # checkpoint energy
+    python -m repro tables           # Tables I, III, V
+    python -m repro demo             # quickstart walkthrough
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_tables(_args) -> None:
+    from .bench.microbench import table1_rows, table3_rows, table5_rows
+    from .bench.report import render_table
+
+    print(render_table(table1_rows(), "Table I: cache energy per read access"))
+    print()
+    print(render_table(table3_rows(), "Table III: geometry & operand locality"))
+    print()
+    print(render_table(table5_rows(), "Table V: CC energy (pJ) per 64-byte block"))
+
+
+def _cmd_fig3(_args) -> None:
+    from .bench.microbench import figure3_energy_proportions
+    from .bench.report import render_table
+
+    rows = [
+        {"config": cfg, **vals}
+        for cfg, vals in figure3_energy_proportions().items()
+    ]
+    print(render_table(rows, "Figure 3: bulk-compare energy proportions"))
+
+
+def _cmd_fig7(args) -> None:
+    from .bench.microbench import figure7, figure7_summary
+    from .bench.report import render_figure7
+
+    results = figure7(size=args.size)
+    print(render_figure7(results))
+    print()
+    for key, value in figure7_summary(results).items():
+        print(f"  {key}: {value:.2f}")
+
+
+def _cmd_fig8(args) -> None:
+    from .bench.microbench import figure8a_inplace_vs_nearplace, figure8b_levels
+    from .bench.report import render_table
+
+    rows = []
+    for kernel, pair in figure8a_inplace_vs_nearplace(args.size).items():
+        rows.append({
+            "kernel": kernel,
+            "in-place nJ": pair["inplace"].total_energy_nj,
+            "near-place nJ": pair["nearplace"].total_energy_nj,
+            "energy ratio": pair["nearplace"].total_energy_nj
+            / pair["inplace"].total_energy_nj,
+            "throughput ratio": pair["nearplace"].steady_cycles
+            / pair["inplace"].steady_cycles,
+        })
+    print(render_table(rows, "Figure 8(a): in-place vs near-place"))
+    print()
+    rows = []
+    for kernel, levels in figure8b_levels(args.size).items():
+        for level, d in levels.items():
+            rows.append({
+                "kernel": kernel, "level": level,
+                "savings nJ": d["total_savings_pj"] / 1000,
+                "savings fraction": d["savings_fraction"],
+            })
+    print(render_table(rows, "Figure 8(b): dynamic-energy savings by level"))
+
+
+def _cmd_fig9(args) -> None:
+    from .bench.appbench import figure9
+    from .bench.report import render_figure9
+
+    print(render_figure9(figure9(scale=args.scale)))
+
+
+def _cmd_fig10(args) -> None:
+    from .bench.checkpointbench import figure10_overheads, summarize_overheads
+    from .bench.report import render_figure10
+
+    overheads = figure10_overheads(intervals=args.intervals)
+    print(render_figure10(overheads))
+    print()
+    for key, value in summarize_overheads(overheads).items():
+        print(f"  {key}: {value:.1%}")
+
+
+def _cmd_fig11(args) -> None:
+    from .bench.checkpointbench import figure11_energy
+    from .bench.report import render_figure11
+
+    print(render_figure11(figure11_energy(intervals=args.intervals)))
+
+
+def _cmd_demo(_args) -> None:
+    from . import ComputeCacheMachine, cc_ops
+
+    m = ComputeCacheMachine()
+    a, b, c = m.arena.alloc_colocated(4096, 3)
+    m.load(a, bytes(range(256)) * 16)
+    m.load(b, b"\x0f" * 4096)
+    res = m.cc(cc_ops.cc_and(a, b, c, 4096))
+    print(f"cc_and over 4 KB: level={res.level}, {res.inplace_ops} in-place "
+          f"block ops, {res.cycles:.0f} cycles")
+    print(f"first 16 result bytes: {m.peek(c, 16).hex()}")
+    print(f"dynamic energy: {m.ledger.total_nj():.1f} nJ "
+          f"({m.ledger.breakdown()})")
+
+
+def _cmd_validate(_args) -> None:
+    from .validate import run_validation
+
+    if not run_validation():
+        sys.exit(1)
+
+
+def _cmd_export(args) -> None:
+    from .bench.export import write_results
+
+    doc = write_results(args.out, full=args.full)
+    exhibits = [k for k in doc if k.startswith(("table", "figure"))]
+    print(f"wrote {args.out}: {len(exhibits)} exhibits, "
+          f"validation_ok={doc['validation_ok']}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compute Caches (HPCA 2017) reproduction - experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="Tables I, III, V").set_defaults(fn=_cmd_tables)
+    sub.add_parser("fig3", help="Figure 3 energy proportions").set_defaults(fn=_cmd_fig3)
+
+    p7 = sub.add_parser("fig7", help="Figure 7 micro-benchmarks")
+    p7.add_argument("--size", type=int, default=4096, help="operand bytes")
+    p7.set_defaults(fn=_cmd_fig7)
+
+    p8 = sub.add_parser("fig8", help="Figure 8 in/near-place + levels")
+    p8.add_argument("--size", type=int, default=4096)
+    p8.set_defaults(fn=_cmd_fig8)
+
+    p9 = sub.add_parser("fig9", help="Figure 9 applications")
+    p9.add_argument("--scale", type=float, default=0.5,
+                    help="workload scale factor (1.0 = bench scale)")
+    p9.set_defaults(fn=_cmd_fig9)
+
+    p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads")
+    p10.add_argument("--intervals", type=int, default=1)
+    p10.set_defaults(fn=_cmd_fig10)
+
+    p11 = sub.add_parser("fig11", help="Figure 11 checkpoint energy")
+    p11.add_argument("--intervals", type=int, default=1)
+    p11.set_defaults(fn=_cmd_fig11)
+
+    sub.add_parser("demo", help="quick CC walkthrough").set_defaults(fn=_cmd_demo)
+    sub.add_parser(
+        "validate", help="fast end-to-end self-check of every layer"
+    ).set_defaults(fn=_cmd_validate)
+
+    pe = sub.add_parser("export", help="write machine-readable results JSON")
+    pe.add_argument("--out", default="results.json")
+    pe.add_argument("--full", action="store_true",
+                    help="include Figures 8b/9/10/11 (minutes of simulation)")
+    pe.set_defaults(fn=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

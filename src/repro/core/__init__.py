@@ -1,0 +1,33 @@
+"""The Compute Cache architecture - the paper's primary contribution.
+
+This package implements everything Section IV describes on top of the
+:mod:`repro.cache` and :mod:`repro.sram` substrates:
+
+* the CC ISA (Table II) with its operand-size and alignment rules;
+* the CC controller with its instruction, operation, and key tables
+  (Section IV-D), level selection and operand fetching (IV-E), pinning with
+  coherence-driven release and RISC fallback (IV-E/IV-F);
+* in-place execution in sub-arrays and the near-place logic unit (IV-J);
+* page-span exception splitting (IV-D);
+* the split scalar/vector LSQ and store buffers (IV-H);
+* RMO fence semantics (IV-G);
+* ECC schemes for every CC operation (IV-I), including a real SECDED
+  Hamming(72, 64) code whose linearity enables the XOR-check scheme.
+"""
+
+from .controller import CCResult, ComputeCacheController
+from .ecc import EccCodec, EccPolicy
+from .isa import CCInstruction, Opcode
+from .lsq import ScalarStoreBuffer, VectorLSQ, VectorStoreBuffer
+
+__all__ = [
+    "CCResult",
+    "ComputeCacheController",
+    "EccCodec",
+    "EccPolicy",
+    "CCInstruction",
+    "Opcode",
+    "ScalarStoreBuffer",
+    "VectorLSQ",
+    "VectorStoreBuffer",
+]

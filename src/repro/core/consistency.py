@@ -1,0 +1,138 @@
+"""Memory consistency for CC instructions (Section IV-G).
+
+The design assumes the RMO model (current language models - C++/Java DRF -
+need nothing stronger): no ordering is enforced between data reads and
+writes, including CC operations, and the simple vector operations *within*
+one CC instruction may run in parallel.  Programmers order memory with
+fences; a fence cannot commit until all preceding operations - including
+pending CC instructions - complete.  It is not possible to fence between
+the scalar element-operations inside a single vector CC instruction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+class OpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    CC_R = "cc-r"
+    CC_RW = "cc-rw"
+    FENCE = "fence"
+
+
+@dataclass
+class PendingOp:
+    op_id: int
+    kind: OpKind
+
+
+@dataclass
+class FenceStats:
+    fences: int = 0
+    ops_drained_at_fences: int = 0
+    max_drain: int = 0
+
+
+class RMOOrderModel:
+    """Tracks pending memory operations and fence-drain semantics.
+
+    Under RMO the model never forces ordering between two non-fence
+    operations; :meth:`may_issue` therefore only returns False for a fence
+    with pending predecessors - exactly the paper's rule that "processor
+    stalls commit of a fence operation until preceding pending operations
+    are completed, including CC operations".
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[int, PendingOp] = {}
+        self._next_id = 0
+        self.stats = FenceStats()
+
+    def issue(self, kind: OpKind) -> int:
+        """Record issue of a memory operation; returns its id."""
+        if kind is OpKind.FENCE:
+            raise ReproError("fences go through drain_for_fence, not issue")
+        op_id = self._next_id
+        self._next_id += 1
+        self._pending[op_id] = PendingOp(op_id, kind)
+        return op_id
+
+    def complete(self, op_id: int) -> None:
+        if op_id not in self._pending:
+            raise ReproError(f"completing unknown memory op {op_id}")
+        del self._pending[op_id]
+
+    def may_issue(self, kind: OpKind) -> bool:
+        """RMO issue rule: everything but a fence is unordered."""
+        if kind is OpKind.FENCE:
+            return not self._pending
+        return True
+
+    def drain_for_fence(self) -> int:
+        """Commit a fence: returns the number of operations it had to wait
+        for (all of them, in this atomic model, are then completed)."""
+        drained = len(self._pending)
+        self.stats.fences += 1
+        self.stats.ops_drained_at_fences += drained
+        self.stats.max_drain = max(self.stats.max_drain, drained)
+        self._pending.clear()
+        return drained
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def pending_cc(self) -> list[PendingOp]:
+        return [p for p in self._pending.values() if p.kind in (OpKind.CC_R, OpKind.CC_RW)]
+
+
+def intra_instruction_fence_possible() -> bool:
+    """Section IV-G: like conventional vector instructions, no fence can be
+    specified between the scalar operations of one CC instruction."""
+    return False
+
+
+class TSOOrderModel(RMOOrderModel):
+    """Total-store-order exploration (the paper's noted future work).
+
+    Section IV-G: "while we believe stronger memory model guarantees for
+    Compute Caches is an interesting problem (to be explored in future
+    work), we assume RMO."  This subclass explores that problem: under
+    TSO, stores (and CC-RW instructions, which behave like stores) must
+    retire in order, and a load may not bypass an *earlier CC-RW* whose
+    output it might need (no forwarding exists from vector stores).
+
+    The practical consequence the model exposes: CC-RW latency that RMO
+    hides behind independent work becomes ordering-visible under TSO, so a
+    TSO Compute Cache would either stall stores behind CC completions or
+    need the speculation machinery conventional TSO cores use for stores.
+    """
+
+    def may_issue(self, kind: OpKind) -> bool:
+        if kind is OpKind.FENCE:
+            return not self._pending
+        if kind in (OpKind.STORE, OpKind.CC_RW):
+            # In-order store stream: no store may issue past a pending
+            # store-class operation.
+            return not any(
+                p.kind in (OpKind.STORE, OpKind.CC_RW)
+                for p in self._pending.values()
+            )
+        if kind is OpKind.LOAD:
+            # Loads may bypass pending scalar stores (TSO's store buffer)
+            # but not pending CC-RW vectors: their results are unknown
+            # until the cache performs them and cannot be forwarded.
+            return not any(
+                p.kind is OpKind.CC_RW for p in self._pending.values()
+            )
+        return True
+
+    def ordering_stalls(self, kind: OpKind) -> bool:
+        """Convenience: would issuing ``kind`` right now have to wait?"""
+        return not self.may_issue(kind)
+

@@ -1,0 +1,525 @@
+"""The Compute Cache controller (Sections IV-D and IV-E).
+
+One controller sits at each core's L1 and orchestrates CC instructions:
+
+1. **Page-span check** - operands crossing a page raise a pipeline
+   exception; the handler splits the instruction per page (IV-D).
+2. **Decomposition** - the instruction is broken into *simple vector
+   operations* whose operands span at most one cache block, tracked in the
+   operation table; instruction-level metadata (result register, completion
+   count) lives in the instruction table.
+3. **Level selection** - compute at the highest cache level where *all*
+   operands are resident; if any operand is uncached, compute at L3 (IV-E).
+4. **Operand fetch + pinning** - missing operands are fetched to the
+   compute level; dirty copies in skipped levels are written back through
+   the existing writeback machinery; operand lines are pinned (and MRU-
+   promoted).  A forwarded coherence request releases the pin; after
+   ``pin_retry_limit`` failed attempts the operation is executed as RISC
+   operations by the core (IV-E).
+5. **Execution** - in place when operand locality holds (the geometry
+   guarantees it for page-aligned operands), else near-place at the
+   controller's logic unit.  Search keys are replicated into each data
+   partition's key row, tracked by the key table so repeats are free.
+6. **Completion** - per-op results merge into the instruction entry; the
+   L1 controller notifies the core when the count completes.
+
+Timing model: operand fetches overlap up to a fetch-MLP; in-place block
+commands stream over the unreplicated H-tree address bus at
+``commands_per_cycle`` and execute concurrently across partitions but
+serially within one (a sub-array does one operation at a time); near-place
+operations serialize through the single per-controller logic unit.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..bitops import chunk_range
+from ..cache.hierarchy import L1, L2, L3, CacheHierarchy
+from ..energy.accounting import Component
+from ..energy.mcpat import charge_key_broadcast, charge_key_row_write
+from ..errors import PinnedLineError, ReproError
+from ..params import BLOCK_SIZE, MachineConfig
+from .exceptions import split_by_pages
+from .inplace import InPlaceExecutor
+from .instruction_table import InstructionTable
+from .isa import CCInstruction, Opcode
+from .key_table import KeyTable
+from .nearplace import NearPlaceUnit
+from .operation_table import BlockOperand, BlockOperation, OperationTable, OpStatus
+
+LEVEL_ORDER = (L1, L2, L3)
+
+INSTRUCTION_OVERHEAD_CYCLES = 5
+"""Controller cycles to decode/dispatch one CC instruction."""
+
+FETCH_MLP = 8
+"""Overlapped operand fetches the controller sustains (MSHR-bounded)."""
+
+
+@dataclass
+class CCControllerStats:
+    instructions: int = 0
+    block_ops_inplace: int = 0
+    block_ops_nearplace: int = 0
+    block_ops_risc: int = 0
+    key_replications: int = 0
+    pin_retries: int = 0
+    risc_fallbacks: int = 0
+    page_splits: int = 0
+    fetch_cycles: float = 0.0
+    compute_cycles: float = 0.0
+
+
+@dataclass
+class CCResult:
+    """Outcome of one architectural CC instruction."""
+
+    instr: CCInstruction
+    result: int
+    cycles: float
+    level: str
+    inplace_ops: int = 0
+    nearplace_ops: int = 0
+    risc_ops: int = 0
+    fetch_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    occupancy_cycles: float = 0.0
+    """Cycles the controller (decode + the unreplicated command bus + any
+    near-place logic-unit time) is busy.  The rest of ``cycles`` is
+    sub-array work that overlaps with later, independent CC instructions
+    targeting other partitions."""
+    result_bytes: bytes = b""
+    pieces: int = 1
+
+    @property
+    def used_inplace(self) -> bool:
+        return self.inplace_ops > 0 and self.nearplace_ops == 0 and self.risc_ops == 0
+
+
+class ComputeCacheController:
+    """Per-core CC controller attached to the L1 cache."""
+
+    def __init__(self, hierarchy: CacheHierarchy, core_id: int = 0,
+                 config: MachineConfig | None = None) -> None:
+        self.hierarchy = hierarchy
+        self.core_id = core_id
+        self.config = config or hierarchy.config
+        cc = self.config.cc
+        self.instruction_table = InstructionTable(capacity=8)
+        self.operation_table = OperationTable(capacity=64)
+        self.key_table = KeyTable(capacity=8)
+        self.inplace = InPlaceExecutor(cc.inplace_latency)
+        self.nearplace = NearPlaceUnit(cc.nearplace_latency)
+        self.stats = CCControllerStats()
+        self.contention_hook: Callable[[int], bool] | None = None
+        """Test hook: called with each pinned block address; returning True
+        simulates a forwarded coherence request stealing the line."""
+        self.reuse_policy = None
+        """Optional :class:`~repro.core.reuse.ReuseAwarePolicy` refining
+        level selection with reuse prediction (the paper's suggested
+        future-work enhancement, Section IV-E)."""
+
+    # -- public API -----------------------------------------------------------------
+
+    def execute(self, instr: CCInstruction, force_level: str | None = None,
+                force_nearplace: bool = False) -> CCResult:
+        """Run one CC instruction to completion; returns its result."""
+        pieces = split_by_pages(instr)
+        if len(pieces) > 1:
+            self.stats.page_splits += 1
+        total = CCResult(instr=instr, result=0, cycles=0.0, level="", pieces=len(pieces))
+        bits_filled = 0
+        result_bytes = bytearray()
+        for piece in pieces:
+            res = self._execute_piece(piece, force_level, force_nearplace)
+            total.cycles += res.cycles
+            total.level = res.level
+            total.inplace_ops += res.inplace_ops
+            total.nearplace_ops += res.nearplace_ops
+            total.risc_ops += res.risc_ops
+            total.fetch_cycles += res.fetch_cycles
+            total.compute_cycles += res.compute_cycles
+            total.occupancy_cycles += res.occupancy_cycles
+            if instr.opcode.reads_only:
+                width = res.instr.num_blocks * self._bits_per_block(instr)
+                total.result |= res.result << bits_filled
+                bits_filled += width
+            result_bytes += res.result_bytes
+        total.result_bytes = bytes(result_bytes)
+        if instr.opcode is Opcode.CLMUL and total.result_bytes:
+            # The packed inner-product bits are written once, contiguously,
+            # at the architectural destination (pieces merely partition the
+            # source blocks, not the result layout).
+            self.hierarchy.write(self.core_id, instr.dest, total.result_bytes)
+        self.stats.instructions += 1
+        return total
+
+    # -- decomposition ------------------------------------------------------------------
+
+    def _bits_per_block(self, instr: CCInstruction) -> int:
+        if instr.opcode is Opcode.CMP:
+            return BLOCK_SIZE // 8
+        if instr.opcode is Opcode.SEARCH:
+            return 1
+        return 0
+
+    def _block_operands(self, instr: CCInstruction, block_idx: int) -> list[BlockOperand]:
+        """Operands of the ``block_idx``-th simple vector operation."""
+        off = block_idx * BLOCK_SIZE
+        op = instr.opcode
+        if op is Opcode.BUZ:
+            return [BlockOperand(instr.src1 + off, is_dest=True)]
+        if op in (Opcode.COPY, Opcode.NOT):
+            return [
+                BlockOperand(instr.src1 + off, is_dest=False),
+                BlockOperand(instr.dest + off, is_dest=True),
+            ]
+        if op is Opcode.CMP:
+            return [
+                BlockOperand(instr.src1 + off, is_dest=False),
+                BlockOperand(instr.src2 + off, is_dest=False),
+            ]
+        if op is Opcode.SEARCH:
+            return [BlockOperand(instr.src1 + off, is_dest=False)]
+        if op is Opcode.CLMUL:
+            if instr.broadcast_src2:
+                return [BlockOperand(instr.src1 + off, is_dest=False)]
+            return [
+                BlockOperand(instr.src1 + off, is_dest=False),
+                BlockOperand(instr.src2 + off, is_dest=False),
+            ]
+        # and / or / xor
+        return [
+            BlockOperand(instr.src1 + off, is_dest=False),
+            BlockOperand(instr.src2 + off, is_dest=False),
+            BlockOperand(instr.dest + off, is_dest=True),
+        ]
+
+    def _overwrites_dest(self, instr: CCInstruction) -> bool:
+        """Destination blocks that are fully overwritten skip their fetch."""
+        return instr.opcode in (Opcode.COPY, Opcode.BUZ, Opcode.NOT,
+                                Opcode.AND, Opcode.OR, Opcode.XOR)
+
+    def _select_level(self, instr: CCInstruction, force_level: str | None) -> str:
+        if force_level is not None:
+            if force_level not in LEVEL_ORDER:
+                raise ReproError(f"unknown cache level {force_level!r}")
+            return force_level
+        addrs = []
+        for name, base in instr.operands().items():
+            if name == "dest" and instr.opcode is Opcode.CLMUL:
+                continue  # clmul's dest receives a scalar store, not blocks
+            length = BLOCK_SIZE if (name == "src2" and instr.key_is_fixed_block) else instr.size
+            addrs.extend(a for a, _ in chunk_range(base, length, BLOCK_SIZE))
+        residency = self.hierarchy.probe_residency(self.core_id, addrs)
+        chosen = L3
+        for level in LEVEL_ORDER:
+            if residency[level]:
+                chosen = level
+                break
+        if self.reuse_policy is not None:
+            chosen = self.reuse_policy.select(chosen, addrs)
+        return chosen
+
+    # -- execution of one page-local piece ---------------------------------------------------
+
+    def _execute_piece(self, instr: CCInstruction, force_level: str | None,
+                       force_nearplace: bool) -> CCResult:
+        level = self._select_level(instr, force_level)
+        entry = self.instruction_table.allocate(instr, total_ops=instr.num_blocks)
+        entry.level = level
+
+        fetch_latencies: list[int] = []
+        partition_load: dict[int, int] = {}
+        inplace_ops = nearplace_ops = risc_ops = 0
+        nearplace_cycles = 0.0
+        clmul_bits: list[tuple[int, int]] = []
+        replications_before = self.stats.key_replications
+
+        # Key staging for cc_search and broadcast cc_clmul: read the key
+        # block once; replicate it per partition through the key table.
+        key_data: bytes | None = None
+        if instr.key_is_fixed_block:
+            key_data, key_latency = self._stage_key(instr, level)
+            if key_latency:
+                fetch_latencies.append(key_latency)
+
+        for idx in range(instr.num_blocks):
+            op = BlockOperation(
+                instr_id=entry.instr_id,
+                op_index=entry.generate_next(),
+                subarray_op=instr.opcode.subarray_op,
+                operands=self._block_operands(instr, idx),
+                lane_bits=instr.lane_bits,
+            )
+            self.operation_table.allocate(op)
+            self._run_block_op(op, instr, level, key_data, force_nearplace,
+                               fetch_latencies, partition_load)
+            if op.status is OpStatus.FAILED:
+                risc_ops += 1
+            elif op.inplace:
+                inplace_ops += 1
+            else:
+                nearplace_ops += 1
+                nearplace_cycles += self.nearplace.nearplace_latency
+            if instr.opcode is Opcode.CLMUL:
+                clmul_bits.append((op.result_bits, op.result_bit_count))
+                entry.complete_op()
+            else:
+                entry.complete_op(op.result_bits, op.result_bit_count)
+            op.status = OpStatus.DONE if op.status is not OpStatus.FAILED else op.status
+            self.operation_table.retire(entry.instr_id, op.op_index)
+
+        result_bytes = b""
+        if instr.opcode is Opcode.CLMUL:
+            result_bytes = self._pack_clmul_result(clmul_bits)
+
+        fetch_cycles = self._fetch_makespan(fetch_latencies)
+        compute_cycles = self._compute_makespan(level, partition_load, nearplace_cycles)
+        notify = self.config.l1d.hit_latency  # L1 controller -> core completion
+        cycles = INSTRUCTION_OVERHEAD_CYCLES + fetch_cycles + compute_cycles + notify
+        # Controller occupancy: decode + every block command down the
+        # unreplicated address bus, plus any serial near-place logic-unit
+        # time.  Key replication is a single broadcast command (the H-tree
+        # fans it out to all target sub-arrays at once).  Sub-array
+        # execution itself overlaps with later instructions.
+        key_writes = self.stats.key_replications - replications_before
+        commands = sum(partition_load.values()) + (1 if key_writes else 0) + risc_ops
+        occupancy = (
+            INSTRUCTION_OVERHEAD_CYCLES
+            + self._issue_cycles(level, commands)
+            + nearplace_cycles
+        )
+
+        self.stats.block_ops_inplace += inplace_ops
+        self.stats.block_ops_nearplace += nearplace_ops
+        self.stats.block_ops_risc += risc_ops
+        self.stats.fetch_cycles += fetch_cycles
+        self.stats.compute_cycles += compute_cycles
+        self.key_table.release(entry.instr_id)
+        result = entry.result_mask
+        self.instruction_table.retire(entry.instr_id)
+        return CCResult(
+            instr=instr, result=result, cycles=cycles, level=level,
+            inplace_ops=inplace_ops, nearplace_ops=nearplace_ops, risc_ops=risc_ops,
+            fetch_cycles=fetch_cycles, compute_cycles=compute_cycles,
+            occupancy_cycles=occupancy, result_bytes=result_bytes,
+        )
+
+    # -- block-op lifecycle -------------------------------------------------------------------
+
+    def _run_block_op(self, op: BlockOperation, instr: CCInstruction, level: str,
+                      key_data: bytes | None, force_nearplace: bool,
+                      fetch_latencies: list[int], partition_load: dict[int, int]) -> None:
+        skip_fetch = self._overwrites_dest(instr)
+        attempts = 0
+        while True:
+            attempts += 1
+            lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
+            if not lost:
+                break
+            self.stats.pin_retries += 1
+            if attempts > self.config.cc.pin_retry_limit:
+                self._unpin_all(op, level)
+                self._risc_fallback(op, instr, key_data)
+                return
+
+        cache = self.hierarchy.level_cache(level, self.core_id, op.operands[0].addr)
+        use_inplace = not force_nearplace and self._locality_holds(op, level)
+        try:
+            if use_inplace:
+                if instr.key_is_fixed_block:
+                    self._replicate_key(op, instr, level, key_data)
+                outcome = self.inplace.execute(cache, op)
+                op.partition = outcome.partition
+                partition_load[outcome.partition] = partition_load.get(outcome.partition, 0) + 1
+                op.inplace = True
+            else:
+                # Near-place handles any operand placement, including L3
+                # operands homed on different NUCA slices.
+                outcome = self.nearplace.execute(
+                    lambda addr: self.hierarchy.level_cache(level, self.core_id, addr),
+                    op, key_data=key_data,
+                )
+                op.inplace = False
+            op.result_bits = outcome.result_bits
+            op.result_bit_count = outcome.result_bit_count
+            op.status = OpStatus.ISSUED
+        finally:
+            self._unpin_all(op, level)
+
+    def _prepare_and_pin(self, op: BlockOperation, level: str, skip_fetch: bool,
+                         fetch_latencies: list[int]) -> bool:
+        """Fetch and pin every operand; True if a pin was lost (retry)."""
+        for operand in op.operands:
+            latency = self.hierarchy.cc_prepare(
+                self.core_id, level, operand.addr, operand.is_dest,
+                skip_fetch=skip_fetch and operand.is_dest,
+            )
+            if latency:
+                fetch_latencies.append(latency)
+            cache = self.hierarchy.level_cache(level, self.core_id, operand.addr)
+            try:
+                cache.pin(operand.addr, op.instr_id)
+            except PinnedLineError:
+                self._unpin_all(op, level)
+                return True
+            operand.pinned = True
+        if self.contention_hook is not None:
+            for operand in op.operands:
+                if self.contention_hook(operand.addr):
+                    # A forwarded coherence request: release the lock and
+                    # respond (Section IV-F), then retry the fetch.
+                    self._unpin_all(op, level)
+                    return True
+        return False
+
+    def _unpin_all(self, op: BlockOperation, level: str) -> None:
+        for operand in op.operands:
+            if operand.pinned:
+                self.hierarchy.cc_release(self.core_id, level, operand.addr)
+                operand.pinned = False
+
+    def _locality_holds(self, op: BlockOperation, level: str) -> bool:
+        if len(op.operands) < 2:
+            return True
+        cache = self.hierarchy.level_cache(level, self.core_id, op.operands[0].addr)
+        parts = {cache.geometry.partition_of(o.addr) for o in op.operands}
+        if len(parts) != 1:
+            return False
+        # Multi-slice L3: operands must also be homed on the same slice.
+        if level == L3:
+            slices = {self.hierarchy.home_slice(o.addr, self.core_id) for o in op.operands}
+            return len(slices) == 1
+        return True
+
+    # -- search key handling --------------------------------------------------------------------
+
+    def _stage_key(self, instr: CCInstruction, level: str) -> tuple[bytes, int]:
+        """Fetch the 64-byte key to the compute level and read it out once."""
+        key_addr = instr.src2
+        latency = self.hierarchy.cc_prepare(self.core_id, level, key_addr, is_dest=False)
+        cache = self.hierarchy.level_cache(level, self.core_id, key_addr)
+        return cache.read_block(key_addr, charge=False), latency
+
+    def _replicate_key(self, op: BlockOperation, instr: CCInstruction, level: str,
+                       key_data: bytes | None) -> None:
+        """Write the key into the data block's partition key row (once per
+        partition per instruction, tracked by the key table)."""
+        if key_data is None:
+            raise ReproError("search with no staged key")
+        data_addr = op.operands[0].addr
+        cache = self.hierarchy.level_cache(level, self.core_id, data_addr)
+        partition = cache.geometry.partition_of(data_addr)
+        if level == L3:
+            partition = (self.hierarchy.home_slice(data_addr, self.core_id), partition)
+        if self.key_table.needs_replication(op.instr_id, instr.src2, level, partition):
+            real_partition = partition[1] if isinstance(partition, tuple) else partition
+            cache.geometry.write_key(real_partition, key_data)
+            # The H-tree fans the key out to every target sub-array at
+            # once: wire energy is charged per instruction, array writes
+            # per partition.
+            if self.key_table.needs_broadcast(op.instr_id, instr.src2, level):
+                charge_key_broadcast(cache.ledger, cache.name)
+            charge_key_row_write(cache.ledger, cache.name)
+            self.stats.key_replications += 1
+
+    # -- clmul result packing ----------------------------------------------------------------------
+
+    @staticmethod
+    def _pack_clmul_result(bits: list[tuple[int, int]]) -> bytes:
+        packed = 0
+        filled = 0
+        for value, count in bits:
+            packed |= value << filled
+            filled += count
+        nbytes = (filled + 7) // 8
+        return packed.to_bytes(max(nbytes, 1), "little")
+
+    # -- RISC fallback (Section IV-E) -----------------------------------------------------------------
+
+    def _risc_fallback(self, op: BlockOperation, instr: CCInstruction,
+                       key_data: bytes | None) -> None:
+        """Translate a block op into core loads/stores when pinning keeps
+        failing (starvation avoidance)."""
+        self.stats.risc_fallbacks += 1
+        sources = [
+            self.hierarchy.read(self.core_id, o.addr, BLOCK_SIZE)[0]
+            for o in op.source_operands
+        ]
+        from ..bitops import bytes_and, bytes_not, bytes_or, bytes_xor
+
+        subop = op.subarray_op
+        result_data: bytes | None = None
+        if subop == "copy":
+            result_data = sources[0]
+        elif subop == "buz":
+            result_data = bytes(BLOCK_SIZE)
+        elif subop == "not":
+            result_data = bytes_not(sources[0])
+        elif subop == "and":
+            result_data = bytes_and(sources[0], sources[1])
+        elif subop == "or":
+            result_data = bytes_or(sources[0], sources[1])
+        elif subop == "xor":
+            result_data = bytes_xor(sources[0], sources[1])
+        elif subop == "cmp":
+            op.result_bits, op.result_bit_count = NearPlaceUnit._cmp_words(
+                sources[0], sources[1]
+            )
+        elif subop == "search":
+            if key_data is None:
+                raise ReproError("RISC search fallback with no key")
+            op.result_bits, op.result_bit_count = (
+                1 if sources[0] == key_data else 0, 1,
+            )
+        elif subop == "clmul":
+            other = sources[1] if len(sources) > 1 else key_data
+            if other is None:
+                raise ReproError("RISC clmul fallback with no key")
+            op.result_bits, op.result_bit_count = NearPlaceUnit._clmul(
+                sources[0], other, op.lane_bits or 64
+            )
+        else:
+            raise ReproError(f"no RISC fallback for {subop!r}")
+        dest = op.dest_operand
+        if dest is not None and result_data is not None:
+            self.hierarchy.write(self.core_id, dest.addr, result_data)
+        # Core executes ~2 RISC ops per word plus loop overhead.
+        words = BLOCK_SIZE // 8
+        self.hierarchy.ledger.add(
+            Component.CORE, 3 * words * self.config.core.epi_scalar
+        )
+        op.status = OpStatus.FAILED
+
+    # -- timing ------------------------------------------------------------------------------
+
+    def _fetch_makespan(self, latencies: list[int]) -> float:
+        """Operand fetches overlap up to FETCH_MLP outstanding requests."""
+        if not latencies:
+            return 0.0
+        return max(max(latencies), math.ceil(sum(latencies) / FETCH_MLP))
+
+    def _issue_cycles(self, level: str, commands: int) -> int:
+        """Cycles to stream block commands down the level's address bus."""
+        if commands <= 0:
+            return 0
+        cache = {L1: self.hierarchy.l1[self.core_id],
+                 L2: self.hierarchy.l2[self.core_id],
+                 L3: self.hierarchy.l3[0]}[level]
+        return cache.htree.command_issue_cycles(commands)
+
+    def _compute_makespan(self, level: str, partition_load: dict[int, int],
+                          nearplace_cycles: float) -> float:
+        """In-place ops stream down the address bus and run concurrently
+        across partitions, serially within one; near-place ops serialize
+        through the controller's logic unit."""
+        makespan = nearplace_cycles
+        if partition_load:
+            issue = self._issue_cycles(level, sum(partition_load.values()))
+            busiest = max(partition_load.values())
+            makespan += issue + busiest * self.inplace.inplace_latency
+        return makespan

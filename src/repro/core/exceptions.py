@@ -1,0 +1,60 @@
+"""Page-span exception handling (Section IV-D).
+
+"If the address range of any operand of a CC instruction spans multiple
+pages, it raises a pipeline exception.  The exception handler splits the
+instruction into multiple CC operations such that each of its operands are
+within a page."
+
+:func:`split_by_pages` is that handler: it cuts the instruction at every
+operand's page-crossing offsets so each fragment's operands each stay
+inside one page.  The search key is a single 64-byte block and is never
+split (it cannot span a page when block-aligned).
+"""
+
+from __future__ import annotations
+
+from ..errors import PageSpanError
+from ..params import PAGE_SIZE
+from .isa import CCInstruction
+
+
+def _crossing_offsets(addr: int, size: int) -> set[int]:
+    """Byte offsets (relative to the operand start) where pages change."""
+    offsets = set()
+    first_boundary = (addr // PAGE_SIZE + 1) * PAGE_SIZE
+    boundary = first_boundary
+    while boundary < addr + size:
+        offsets.add(boundary - addr)
+        boundary += PAGE_SIZE
+    return offsets
+
+
+def split_by_pages(instr: CCInstruction, allow_split: bool = True) -> list[CCInstruction]:
+    """Split a CC instruction so no operand crosses a page boundary.
+
+    With ``allow_split=False`` a spanning instruction raises
+    :class:`PageSpanError` instead (modeling a program that masked the
+    exception).
+    """
+    if not instr.spans_page_boundary():
+        return [instr]
+    if not allow_split:
+        raise PageSpanError(
+            f"{instr.opcode.value} operand spans a page boundary and splitting is disabled"
+        )
+    cuts: set[int] = set()
+    for name, addr in instr.operands().items():
+        if name == "src2" and instr.key_is_fixed_block:
+            continue
+        if name == "dest" and instr.opcode.value == "cc_clmul":
+            continue  # scalar result store; never forces a split
+        cuts |= _crossing_offsets(addr, instr.size)
+    pieces: list[CCInstruction] = []
+    remaining = instr
+    consumed = 0
+    for cut in sorted(cuts):
+        head, remaining = remaining.split_at(cut - consumed)
+        pieces.append(head)
+        consumed = cut
+    pieces.append(remaining)
+    return pieces

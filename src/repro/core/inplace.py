@@ -1,0 +1,174 @@
+"""In-place execution of simple vector operations in cache sub-arrays.
+
+Given a :class:`~repro.core.operation_table.BlockOperation` whose operands
+are resident and pinned at a compute level, the executor locates each
+operand's (sub-array, row), issues the bit-line operation, charges the
+Table V energy, and returns any result bits (for CC-R operations) plus the
+operation latency.
+
+In-place execution requires all operands in the same block partition; the
+executor asserts this (the controller should only route locality-satisfying
+operations here) and raises :class:`OperandLocalityError` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitops import popcount_mask
+from ..cache.cache import CacheLevel
+from ..energy.mcpat import charge_cc_op
+from ..errors import OperandLocalityError, ReproError
+from ..params import BLOCK_SIZE
+from .operation_table import BlockOperation
+
+
+@dataclass(frozen=True)
+class InPlaceOutcome:
+    """Result of one in-place block operation."""
+
+    result_bits: int
+    result_bit_count: int
+    latency: float
+    partition: int
+    result_data: bytes | None = None
+
+
+class InPlaceExecutor:
+    """Issues bit-line compute operations into a cache level's sub-arrays."""
+
+    def __init__(self, inplace_latency: int = 14) -> None:
+        self.inplace_latency = inplace_latency
+        self.ops_executed = 0
+
+    def execute(self, level: CacheLevel, op: BlockOperation) -> InPlaceOutcome:
+        """Run one simple vector operation in place."""
+        addrs = op.addresses
+        partitions = {level.geometry.partition_of(a) for a in addrs}
+        if len(partitions) != 1:
+            raise OperandLocalityError(
+                f"in-place {op.subarray_op} operands {['%#x' % a for a in addrs]} span "
+                f"partitions {sorted(partitions)} of {level.name}"
+            )
+        partition = partitions.pop()
+        handler = getattr(self, f"_op_{op.subarray_op}", None)
+        if handler is None:
+            raise ReproError(f"no in-place handler for {op.subarray_op!r}")
+        outcome = handler(level, op, partition)
+        # Search's Table V energy (cmp + key write) is charged in two parts:
+        # the compare here, the key-replication write by the controller's
+        # key table (amortized across blocks sharing a partition).
+        charge_op = "cmp" if op.subarray_op == "search" else op.subarray_op
+        charge_cc_op(level.ledger, level.name, charge_op)
+        level.stats.cc_inplace_ops += 1
+        self.ops_executed += 1
+        return outcome
+
+    # -- per-op handlers ----------------------------------------------------------
+
+    def _rows(self, level: CacheLevel, op: BlockOperation) -> list[int]:
+        rows = []
+        for operand in op.operands:
+            _, row = level.locate(operand.addr)
+            rows.append(row)
+        return rows
+
+    def _logical(self, level: CacheLevel, op: BlockOperation, partition: int,
+                 method_name: str) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = [o for o in op.operands if not o.is_dest]
+        dest = op.dest_operand
+        if len(src) != 2 or dest is None:
+            raise ReproError(f"{op.subarray_op} needs two sources and a destination")
+        _, row_a = level.locate(src[0].addr)
+        _, row_b = level.locate(src[1].addr)
+        _, row_d = level.locate(dest.addr)
+        method = getattr(sub, method_name)
+        result = method(row_a, row_b, dest=row_d)
+        return InPlaceOutcome(0, 0, self.inplace_latency, partition, result_data=result)
+
+    def _op_and(self, level, op, partition):
+        return self._logical(level, op, partition, "op_and")
+
+    def _op_or(self, level, op, partition):
+        return self._logical(level, op, partition, "op_or")
+
+    def _op_xor(self, level, op, partition):
+        return self._logical(level, op, partition, "op_xor")
+
+    def _op_not(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        dest = op.dest_operand
+        if len(src) != 1 or dest is None:
+            raise ReproError("not needs one source and a destination")
+        _, row_s = level.locate(src[0].addr)
+        _, row_d = level.locate(dest.addr)
+        result = sub.op_not(row_s, dest=row_d)
+        return InPlaceOutcome(0, 0, self.inplace_latency, partition, result_data=result)
+
+    def _op_copy(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        dest = op.dest_operand
+        if len(src) != 1 or dest is None:
+            raise ReproError("copy needs one source and a destination")
+        _, row_s = level.locate(src[0].addr)
+        _, row_d = level.locate(dest.addr)
+        result = sub.op_copy(row_s, row_d)
+        return InPlaceOutcome(0, 0, self.inplace_latency, partition, result_data=result)
+
+    def _op_buz(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        dest = op.dest_operand
+        if dest is None:
+            raise ReproError("buz needs a destination")
+        _, row_d = level.locate(dest.addr)
+        sub.op_buz(row_d)
+        return InPlaceOutcome(0, 0, self.inplace_latency, partition,
+                              result_data=bytes(BLOCK_SIZE))
+
+    def _op_cmp(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        if len(src) != 2:
+            raise ReproError("cmp needs two sources")
+        _, row_a = level.locate(src[0].addr)
+        _, row_b = level.locate(src[1].addr)
+        mask = sub.op_cmp(row_a, row_b)
+        words = BLOCK_SIZE // 8
+        return InPlaceOutcome(mask, words, self.inplace_latency, partition)
+
+    def _op_search(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        if len(src) != 1:
+            raise ReproError("search block op needs the data source (key is in the key row)")
+        _, row_data = level.locate(src[0].addr)
+        mask = sub.op_search(row_data, level.geometry.key_row, key_bytes=BLOCK_SIZE)
+        return InPlaceOutcome(mask & 1, 1, self.inplace_latency, partition)
+
+    def _op_clmul(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        if op.lane_bits is None:
+            raise ReproError("clmul needs a lane width")
+        if len(src) == 1:
+            # Broadcast variant: the second operand sits in the partition's
+            # key row (replicated by the controller, BMM's A-row reuse).
+            _, row_a = level.locate(src[0].addr)
+            row_b = level.geometry.key_row
+        elif len(src) == 2:
+            _, row_a = level.locate(src[0].addr)
+            _, row_b = level.locate(src[1].addr)
+        else:
+            raise ReproError("clmul needs one (broadcast) or two sources")
+        packed = sub.op_clmul(row_a, row_b, op.lane_bits)
+        lanes = (BLOCK_SIZE * 8) // op.lane_bits
+        bits = int.from_bytes(packed, "little") & ((1 << lanes) - 1)
+        return InPlaceOutcome(bits, lanes, self.inplace_latency, partition)
+
+
+def mask_matches(mask: int) -> int:
+    """Convenience: number of matching words/keys in a CC-R result mask."""
+    return popcount_mask(mask)

@@ -1,0 +1,79 @@
+"""The CC controller's key table (Section IV-D).
+
+``cc_search`` compares many data blocks against one 64-byte key.  In-place
+comparison requires the key to sit in the *same block partition* as each
+data block, so the controller replicates the key into every partition where
+source data resides.  The key table tracks, per instruction, which
+partitions already hold the key so repeated searches by the same
+instruction do not re-replicate it - the writes are what limit search's
+energy savings (Section VI-D), so avoiding redundant ones matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KeyEntry:
+    """Partitions of one cache level already holding one instruction's key."""
+
+    key_addr: int
+    partitions: set[tuple[str, int]] = field(default_factory=set)
+    replications: int = 0
+    broadcast_levels: set[str] = field(default_factory=set)
+    """Levels whose H-tree already carried this key (the broadcast wire
+    energy is paid once per level per instruction)."""
+
+
+class KeyTable:
+    """Per-instruction key-replication tracking."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, KeyEntry] = {}
+        self.total_replications = 0
+        self.replications_avoided = 0
+
+    def ensure(self, instr_id: int, key_addr: int) -> KeyEntry:
+        entry = self._entries.get(instr_id)
+        if entry is None:
+            if len(self._entries) >= self.capacity:
+                # Evict the stalest entry; its key rows simply get rewritten.
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            entry = KeyEntry(key_addr=key_addr)
+            self._entries[instr_id] = entry
+        return entry
+
+    def needs_replication(self, instr_id: int, key_addr: int, level: str, partition: int) -> bool:
+        """True if the key must be written into (level, partition).
+
+        Marks the partition as populated when replication is needed, so the
+        caller performs the write exactly once.
+        """
+        entry = self.ensure(instr_id, key_addr)
+        slot = (level, partition)
+        if slot in entry.partitions:
+            self.replications_avoided += 1
+            return False
+        entry.partitions.add(slot)
+        entry.replications += 1
+        self.total_replications += 1
+        return True
+
+    def needs_broadcast(self, instr_id: int, key_addr: int, level: str) -> bool:
+        """True exactly once per (instruction, level): whether the key's
+        H-tree broadcast energy must still be charged."""
+        entry = self.ensure(instr_id, key_addr)
+        if level in entry.broadcast_levels:
+            return False
+        entry.broadcast_levels.add(level)
+        return True
+
+    def release(self, instr_id: int) -> None:
+        self._entries.pop(instr_id, None)
+
+    def partitions_of(self, instr_id: int) -> set[tuple[str, int]]:
+        entry = self._entries.get(instr_id)
+        return set() if entry is None else set(entry.partitions)

@@ -1,0 +1,249 @@
+"""Memory disambiguation for CC vector instructions (Section IV-H).
+
+CC instructions access address *ranges*, not single words, so the paper
+splits the core's disambiguation structures:
+
+* a dedicated **vector LSQ** whose entries carry the address ranges of each
+  operand (up to 12 range comparisons per entry);
+* a **scalar store buffer** that still coalesces adjacent stores;
+* a **non-coalescing vector store buffer** (a CC-RW instruction's output is
+  unknown until the cache performs it, so it cannot coalesce).
+
+Because the two store buffers may simultaneously hold stores to the same
+location, each entry carries a *successor pointer* and a *stall bit*: the
+younger conflicting store stalls until its predecessor completes, which
+preserves program order between same-location stores.
+
+Forwarding rules: no forwarding from vector stores to any load, and none
+from any store to a vector load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+MAX_RANGE_COMPARISONS = 12
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A byte range [start, start+size)."""
+
+    start: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class VectorEntry:
+    """One vector LSQ / vector store-buffer entry."""
+
+    entry_id: int
+    is_store: bool
+    ranges: list[AddressRange]
+    stalled: bool = False
+    successor: int | None = None
+    completed: bool = False
+
+    def conflicts_with(self, r: AddressRange) -> bool:
+        return any(mine.overlaps(r) for mine in self.ranges)
+
+
+@dataclass
+class ScalarStore:
+    """One scalar store-buffer entry (word granularity, coalescing)."""
+
+    entry_id: int
+    addr: int
+    size: int
+    stalled: bool = False
+    successor: int | None = None
+    completed: bool = False
+
+    @property
+    def range(self) -> AddressRange:
+        return AddressRange(self.addr, self.size)
+
+
+class VectorLSQ:
+    """Vector load/store queue with address-range conflict checks."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, VectorEntry] = {}
+        self._next_id = 0
+        self.range_checks = 0
+
+    def insert(self, ranges: list[AddressRange], is_store: bool) -> VectorEntry:
+        if len(self._entries) >= self.capacity:
+            raise ReproError("vector LSQ full; core must stall")
+        if len(ranges) > MAX_RANGE_COMPARISONS:
+            raise ReproError(
+                f"{len(ranges)} ranges exceed the {MAX_RANGE_COMPARISONS}-comparison entry limit"
+            )
+        entry = VectorEntry(self._next_id, is_store, list(ranges))
+        self._entries[self._next_id] = entry
+        self._next_id += 1
+        return entry
+
+    def conflicting_stores(self, r: AddressRange) -> list[VectorEntry]:
+        """Uncompleted vector stores whose ranges overlap ``r``."""
+        out = []
+        for entry in self._entries.values():
+            self.range_checks += len(entry.ranges)
+            if entry.is_store and not entry.completed and entry.conflicts_with(r):
+                out.append(entry)
+        return out
+
+    def complete(self, entry_id: int) -> None:
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise ReproError(f"completing unknown vector LSQ entry {entry_id}")
+        entry.completed = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ScalarStoreBuffer:
+    """Coalescing scalar store buffer."""
+
+    def __init__(self, capacity: int = 32, coalesce_bytes: int = 64) -> None:
+        self.capacity = capacity
+        self.coalesce_bytes = coalesce_bytes
+        self._entries: dict[int, ScalarStore] = {}
+        self._next_id = 0
+        self.coalesced = 0
+
+    def insert(self, addr: int, size: int) -> ScalarStore:
+        block = addr // self.coalesce_bytes
+        for entry in self._entries.values():
+            if not entry.completed and not entry.stalled and \
+                    entry.addr // self.coalesce_bytes == block:
+                lo = min(entry.addr, addr)
+                hi = max(entry.addr + entry.size, addr + size)
+                entry.addr, entry.size = lo, hi - lo
+                self.coalesced += 1
+                return entry
+        if len(self._entries) >= self.capacity:
+            raise ReproError("scalar store buffer full; core must stall")
+        entry = ScalarStore(self._next_id, addr, size)
+        self._entries[self._next_id] = entry
+        self._next_id += 1
+        return entry
+
+    def complete(self, entry_id: int) -> ScalarStore:
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise ReproError(f"completing unknown scalar store {entry_id}")
+        entry.completed = True
+        return entry
+
+    def entries(self) -> list[ScalarStore]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class VectorStoreBuffer:
+    """Non-coalescing vector store buffer (CC-RW results are unknown until
+    the cache performs them, so coalescing is impossible)."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._entries: dict[int, VectorEntry] = {}
+        self._next_id = 0
+
+    def insert(self, ranges: list[AddressRange]) -> VectorEntry:
+        if len(self._entries) >= self.capacity:
+            raise ReproError("vector store buffer full; core must stall")
+        if len(ranges) > MAX_RANGE_COMPARISONS:
+            raise ReproError(
+                f"{len(ranges)} ranges exceed the {MAX_RANGE_COMPARISONS}-comparison entry limit"
+            )
+        entry = VectorEntry(self._next_id, True, list(ranges))
+        self._entries[self._next_id] = entry
+        self._next_id += 1
+        return entry
+
+    def complete(self, entry_id: int) -> VectorEntry:
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            raise ReproError(f"completing unknown vector store {entry_id}")
+        entry.completed = True
+        return entry
+
+    def entries(self) -> list[VectorEntry]:
+        return list(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StoreOrderPolice:
+    """Enforces program order between same-location stores across the two
+    store buffers (the successor-pointer + stall-bit mechanism)."""
+
+    def __init__(self, scalar: ScalarStoreBuffer, vector: VectorStoreBuffer) -> None:
+        self.scalar = scalar
+        self.vector = vector
+        self.stalls_imposed = 0
+
+    def admit_scalar(self, addr: int, size: int) -> ScalarStore:
+        """Insert a scalar store, stalling it behind any conflicting older
+        vector store."""
+        new_range = AddressRange(addr, size)
+        entry = self.scalar.insert(addr, size)
+        for older in self.vector.entries():
+            if not older.completed and older.conflicts_with(new_range):
+                entry.stalled = True
+                older.successor = entry.entry_id
+                self.stalls_imposed += 1
+                break
+        return entry
+
+    def admit_vector(self, ranges: list[AddressRange]) -> VectorEntry:
+        """Insert a vector store, stalling it behind any conflicting older
+        scalar store."""
+        entry = self.vector.insert(ranges)
+        for older in self.scalar.entries():
+            if older.completed or older.stalled:
+                continue
+            if any(r.overlaps(older.range) for r in ranges):
+                entry.stalled = True
+                older.successor = entry.entry_id
+                self.stalls_imposed += 1
+                break
+        return entry
+
+    def scalar_completed(self, entry_id: int) -> None:
+        """Retire a scalar store; clear the stall bit of its successor."""
+        entry = self.scalar.complete(entry_id)
+        if entry.successor is not None:
+            for vec in self.vector.entries():
+                if vec.entry_id == entry.successor:
+                    vec.stalled = False
+
+    def vector_completed(self, entry_id: int) -> None:
+        """Retire a vector store; clear the stall bit of its successor."""
+        entry = self.vector.complete(entry_id)
+        if entry.successor is not None:
+            for sc in self.scalar.entries():
+                if sc.entry_id == entry.successor:
+                    sc.stalled = False
+
+    @staticmethod
+    def may_forward(store_is_vector: bool, load_is_vector: bool) -> bool:
+        """Forwarding legality: vector stores forward to nothing; vector
+        loads receive forwarding from nothing."""
+        return not store_is_vector and not load_is_vector
+

@@ -1,0 +1,119 @@
+"""The CC controller's operation table (Section IV-D).
+
+A CC instruction is broken into *simple vector operations* whose operands
+span at most one cache block.  Each operation-table entry tracks the status
+of every operand of one such operation (present / being fetched) and the
+operation's lifecycle: it is issued to the sub-array only once all operands
+are resident and pinned at the compute level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+
+class OperandStatus(enum.Enum):
+    MISSING = "missing"
+    FETCHING = "fetching"
+    READY = "ready"
+
+
+class OpStatus(enum.Enum):
+    WAITING = "waiting-operands"
+    READY = "ready"
+    ISSUED = "issued"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class BlockOperand:
+    """One cache-block operand of a simple vector operation."""
+
+    addr: int
+    is_dest: bool
+    status: OperandStatus = OperandStatus.MISSING
+    pinned: bool = False
+
+
+@dataclass
+class BlockOperation:
+    """One simple vector operation (operands span a single cache block)."""
+
+    instr_id: int
+    op_index: int
+    subarray_op: str
+    operands: list[BlockOperand]
+    lane_bits: int | None = None
+    status: OpStatus = OpStatus.WAITING
+    partition: int | None = None
+    inplace: bool = True
+    pin_attempts: int = 0
+    result_bits: int = 0
+    result_bit_count: int = 0
+
+    @property
+    def addresses(self) -> list[int]:
+        return [o.addr for o in self.operands]
+
+    @property
+    def source_operands(self) -> list[BlockOperand]:
+        return [o for o in self.operands if not o.is_dest]
+
+    @property
+    def dest_operand(self) -> BlockOperand | None:
+        for o in self.operands:
+            if o.is_dest:
+                return o
+        return None
+
+    def all_ready(self) -> bool:
+        return all(o.status is OperandStatus.READY for o in self.operands)
+
+    def mark_ready_if_complete(self) -> None:
+        if self.status is OpStatus.WAITING and self.all_ready():
+            self.status = OpStatus.READY
+
+
+class OperationTable:
+    """Fixed-capacity table of in-flight simple vector operations."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._ops: dict[tuple[int, int], BlockOperation] = {}
+        self.peak_occupancy = 0
+        self.total_allocated = 0
+
+    def allocate(self, op: BlockOperation) -> BlockOperation:
+        key = (op.instr_id, op.op_index)
+        if key in self._ops:
+            raise ReproError(f"duplicate operation-table entry {key}")
+        if len(self._ops) >= self.capacity:
+            raise ReproError(
+                f"operation table full ({self.capacity} entries); controller must stall"
+            )
+        self._ops[key] = op
+        self.total_allocated += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._ops))
+        return op
+
+    def get(self, instr_id: int, op_index: int) -> BlockOperation:
+        try:
+            return self._ops[(instr_id, op_index)]
+        except KeyError:
+            raise ReproError(f"unknown operation ({instr_id}, {op_index})") from None
+
+    def retire(self, instr_id: int, op_index: int) -> None:
+        op = self.get(instr_id, op_index)
+        if op.status not in (OpStatus.DONE, OpStatus.FAILED):
+            raise ReproError(f"retiring unfinished operation ({instr_id}, {op_index})")
+        del self._ops[(instr_id, op_index)]
+
+    def pending_for(self, instr_id: int) -> list[BlockOperation]:
+        return [op for (iid, _), op in self._ops.items() if iid == instr_id]
+
+    def __len__(self) -> int:
+        return len(self._ops)

@@ -1,0 +1,108 @@
+"""Cache-block reuse prediction for CC level selection (Section IV-E).
+
+The paper's controller always computes at the highest level where all
+operands are resident, else L3, and notes: "Cache allocation policy can be
+improved in future by enhancing our CC controller with a cache block reuse
+predictor [11]."  This module implements that extension.
+
+:class:`ReusePredictor` tracks, per 4 KB region, how often CC operands were
+re-touched soon after an operation.  The enhanced policy
+(:class:`ReuseAwarePolicy`) keeps the baseline rule but overrides it in one
+case: when operands are resident high (L1/L2) yet predicted *dead* (no
+further reuse), it computes at L3 instead - the higher-level copies would
+be written back/invalidated anyway, and leaving L1/L2 to the live working
+set avoids pollution, exactly the motivation of Jalminger & Stenstrom's
+reuse prediction the paper cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..params import PAGE_SIZE
+
+
+@dataclass
+class RegionStats:
+    """Two-bit-counter-style reuse bookkeeping for one 4 KB region."""
+
+    counter: int = 2  # weakly reused
+    touches: int = 0
+
+    def touch(self) -> None:
+        self.touches += 1
+        self.counter = min(self.counter + 1, 3)
+
+    def decay(self) -> None:
+        self.counter = max(self.counter - 1, 0)
+
+    @property
+    def predicted_reused(self) -> bool:
+        return self.counter >= 2
+
+
+class ReusePredictor:
+    """Region-granular reuse predictor (saturating counters).
+
+    ``observe_use(addr)`` records a demand touch; ``observe_cc(addr)``
+    records that a CC operation consumed the region *without* a subsequent
+    demand touch (decays the counter).  ``predict(addr)`` returns whether
+    the region is expected to be touched again.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._regions: dict[int, RegionStats] = {}
+        self.predictions = 0
+        self.hits_predicted = 0
+
+    def _region(self, addr: int) -> RegionStats:
+        key = addr // PAGE_SIZE
+        stats = self._regions.get(key)
+        if stats is None:
+            if len(self._regions) >= self.capacity:
+                # Evict the least-touched region (cheap clock-like policy).
+                victim = min(self._regions, key=lambda k: self._regions[k].touches)
+                del self._regions[victim]
+            stats = RegionStats()
+            self._regions[key] = stats
+        return stats
+
+    def observe_use(self, addr: int) -> None:
+        self._region(addr).touch()
+
+    def observe_cc(self, addr: int) -> None:
+        self._region(addr).decay()
+
+    def predict(self, addr: int) -> bool:
+        self.predictions += 1
+        region = self._regions.get(addr // PAGE_SIZE)
+        predicted = region.predicted_reused if region else False
+        if predicted:
+            self.hits_predicted += 1
+        return predicted
+
+
+@dataclass
+class ReuseAwarePolicy:
+    """Level-selection policy combining residency with reuse prediction."""
+
+    predictor: ReusePredictor = field(default_factory=ReusePredictor)
+    demotions: int = 0
+
+    def select(self, residency_level: str, operand_addrs: list[int]) -> str:
+        """Adjust the residency-based choice (the paper's baseline policy).
+
+        Operands resident in L1/L2 but predicted dead are demoted to L3:
+        their higher-level copies are sacrificial, and computing low leaves
+        the private caches to data that will actually be re-touched.
+        """
+        if residency_level == "L3":
+            return "L3"
+        live = any(self.predictor.predict(a) for a in operand_addrs)
+        if not live:
+            self.demotions += 1
+            for addr in operand_addrs:
+                self.predictor.observe_cc(addr)
+            return "L3"
+        return residency_level

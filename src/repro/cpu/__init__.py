@@ -1,0 +1,17 @@
+"""Processor-core models: the scalar and 32-byte-SIMD baselines.
+
+The paper compares Compute Caches against ``Base_32``, a conventional
+out-of-order core with 32-byte SIMD loads/stores and vector ops (Table IV).
+:class:`~repro.cpu.core_model.CoreModel` executes abstract instruction
+streams (:mod:`repro.cpu.program`) against the shared cache hierarchy,
+accounting cycles (issue + non-overlapped miss stalls bounded by a
+memory-level-parallelism factor) and per-instruction core energy;
+:mod:`repro.cpu.simd` provides the baseline kernel generators used by the
+micro-benchmarks (copy / compare / search / logical-OR) in scalar and
+SIMD flavours.
+"""
+
+from .core_model import CoreModel, RunResult
+from .program import Instr, InstrKind, Program
+
+__all__ = ["CoreModel", "RunResult", "Instr", "InstrKind", "Program"]

@@ -1,0 +1,38 @@
+"""Energy modeling (McPAT-substitute) for the Compute Caches reproduction.
+
+The paper derives cache energies from McPAT and SPICE and prints the
+constants it uses; this package consumes those published constants directly:
+
+* Table I  - per-read H-tree (``cache-ic``) vs data-array (``cache-access``)
+  energy for L1-D, L2, and an L3 slice;
+* Table V  - per-64-byte-block energy of every CC operation at every level;
+* Section VI-C - relative delay/energy multipliers for compute sub-arrays.
+
+:class:`~repro.energy.accounting.EnergyLedger` accumulates dynamic energy by
+component (core, per-level access, per-level interconnect, NoC) to reproduce
+the stacked-bar breakdowns of Figures 7, 8, and 11, and
+:class:`~repro.energy.mcpat.PowerModel` adds the static (leakage) terms.
+"""
+
+from .accounting import Component, EnergyLedger
+from .mcpat import PowerModel
+from .tables import (
+    CACHE_ACCESS_ENERGY_PJ,
+    CACHE_IC_ENERGY_PJ,
+    CC_OP_ENERGY_PJ,
+    cc_op_energy,
+    read_energy,
+    write_energy,
+)
+
+__all__ = [
+    "Component",
+    "EnergyLedger",
+    "PowerModel",
+    "CACHE_ACCESS_ENERGY_PJ",
+    "CACHE_IC_ENERGY_PJ",
+    "CC_OP_ENERGY_PJ",
+    "cc_op_energy",
+    "read_energy",
+    "write_energy",
+]

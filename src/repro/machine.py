@@ -1,0 +1,146 @@
+"""The top-level machine facade.
+
+:class:`ComputeCacheMachine` wires together everything a user needs: the
+Table IV configuration, the shared energy ledger, the coherent cache
+hierarchy, one core model + CC controller per core, an allocation arena,
+and the power model.  It is the entry point used by the examples, the
+applications, and the benchmark harness::
+
+    from repro import ComputeCacheMachine, cc_ops
+
+    m = ComputeCacheMachine()
+    a, b, c = m.arena.alloc_colocated(4096, 3)
+    m.load(a, bytes(range(256)) * 16)
+    m.load(b, b"\\xff" * 4096)
+    result = m.cc(cc_ops.cc_and(a, b, c, 4096))
+    assert m.peek(c, 4096) == m.peek(a, 4096)
+"""
+
+from __future__ import annotations
+
+from .alloc import Arena
+from .cache.hierarchy import CacheHierarchy
+from .core.controller import CCResult, ComputeCacheController
+from .core.isa import CCInstruction
+from .cpu.core_model import CoreModel, RunResult
+from .cpu.program import Program
+from .energy.accounting import EnergyLedger
+from .energy.mcpat import PowerModel, TotalEnergy
+from .errors import AddressError
+from .params import MachineConfig, sandybridge_8core
+
+
+class ComputeCacheMachine:
+    """A complete simulated machine with Compute Cache support."""
+
+    def __init__(self, config: MachineConfig | None = None,
+                 wordline_underdrive: bool = True) -> None:
+        self.config = config or sandybridge_8core()
+        self.ledger = EnergyLedger()
+        self.hierarchy = CacheHierarchy(
+            self.config, self.ledger, wordline_underdrive=wordline_underdrive
+        )
+        self.controllers = [
+            ComputeCacheController(self.hierarchy, core_id, self.config)
+            for core_id in range(self.config.cores)
+        ]
+        self.cores = [
+            CoreModel(self.hierarchy, core_id, self.config,
+                      controller=self.controllers[core_id])
+            for core_id in range(self.config.cores)
+        ]
+        self.arena = Arena(self.config.memory_size)
+        self.power = PowerModel(self.config)
+
+    # -- data staging --------------------------------------------------------------
+
+    def load(self, addr: int, data: bytes) -> None:
+        """Backdoor-initialize memory (no cache traffic).
+
+        Only safe before the range is cached; raises if any block of the
+        range is currently resident somewhere in the hierarchy.
+        """
+        for block in range(addr & ~63, addr + len(data), 64):
+            for core in range(self.config.cores):
+                if self.hierarchy.l1[core].contains(block) or \
+                        self.hierarchy.l2[core].contains(block):
+                    raise AddressError(
+                        f"backdoor load into cached block {block:#x}; use write()"
+                    )
+            slice_id = self.hierarchy._page_to_slice.get(block // 4096)
+            if slice_id is not None and self.hierarchy.l3[slice_id].contains(block):
+                raise AddressError(
+                    f"backdoor load into cached block {block:#x}; use write()"
+                )
+        self.hierarchy.memory.load(addr, data)
+
+    def peek(self, addr: int, size: int) -> bytes:
+        """Architecturally-current bytes (coherent, charge-free)."""
+        return self.hierarchy.coherent_peek(addr, size)
+
+    def write(self, addr: int, data: bytes, core: int = 0) -> int:
+        """Write through the cache hierarchy; returns latency."""
+        return self.hierarchy.write(core, addr, data)
+
+    def read(self, addr: int, size: int, core: int = 0) -> bytes:
+        """Read through the cache hierarchy."""
+        data, _ = self.hierarchy.read(core, addr, size)
+        return data
+
+    # -- execution ------------------------------------------------------------------
+
+    def cc(self, instr: CCInstruction, core: int = 0,
+           force_level: str | None = None, force_nearplace: bool = False) -> CCResult:
+        """Execute one CC instruction on a core's controller."""
+        return self.controllers[core].execute(
+            instr, force_level=force_level, force_nearplace=force_nearplace
+        )
+
+    def run(self, program: Program, core: int = 0) -> RunResult:
+        """Execute an instruction stream on a core."""
+        return self.cores[core].run(program)
+
+    # -- measurement -------------------------------------------------------------------
+
+    def snapshot_energy(self) -> EnergyLedger:
+        """Copy of the current dynamic-energy ledger."""
+        return self.ledger.copy()
+
+    def energy_since(self, snapshot: EnergyLedger) -> EnergyLedger:
+        """Dynamic energy accumulated since a snapshot."""
+        delta = EnergyLedger()
+        for component, pj in self.ledger.pj.items():
+            d = pj - snapshot.get(component)
+            if d:
+                delta.add(component, d)
+        return delta
+
+    def total_energy(self, ledger: EnergyLedger, cycles: float,
+                     active_cores: int = 1) -> TotalEnergy:
+        """Dynamic + static roll-up for a run of ``cycles``."""
+        power = PowerModel(self.config, active_cores=active_cores)
+        return power.total_energy(ledger, cycles)
+
+    def reset_energy(self) -> None:
+        self.ledger.reset()
+
+    # -- warming helpers (benchmarks) -------------------------------------------------
+
+    def touch_range(self, addr: int, size: int, core: int = 0,
+                    for_write: bool = False) -> None:
+        """Bring a byte range into the core's caches (warms L1/L2/L3)."""
+        for block in range(addr & ~63, addr + size, 64):
+            self.hierarchy.access_block(core, block, for_write=for_write)
+
+    def warm_l3(self, addr: int, size: int, core: int = 0) -> None:
+        """Place a range in L3 only (resident for CC_L3 experiments):
+        touch it, then flush the private copies down."""
+        self.touch_range(addr, size, core=core)
+        for block in range(addr & ~63, addr + size, 64):
+            slice_id = self.hierarchy.home_slice(block, core)
+            for level in ("L1", "L2"):
+                cache = self.hierarchy.level_cache(level, core, block)
+                res = cache.invalidate(block)
+                if res and res[1]:
+                    self.hierarchy.l3[slice_id].write_block(block, res[0], dirty=True)
+            self.hierarchy.directory[slice_id].remove_sharer(block, core)

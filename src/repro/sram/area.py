@@ -1,0 +1,120 @@
+"""Sub-array area model: where the paper's 8% overhead comes from.
+
+Section VI-C: "The area overhead is 8% for a sub-array of size 512 x 512."
+The compute extensions add, per sub-array:
+
+* a **second row decoder** (dual word-line activation) - roughly the same
+  area as the baseline decoder;
+* **sense-amplifier reconfiguration** (two single-ended amps obtained from
+  each differential amp) - extra switches/reference per column;
+* the **XOR-reduction tree** for clmul - one XOR gate per column, halving
+  per level, plus lane-select muxes;
+* **copy/zero control** (latch reset, write-back enables) - small.
+
+The model expresses each structure in bit-cell-equivalent units (a common
+way to head-count SRAM periphery) so the overhead can be recomputed for
+any geometry; the default 512x512 instance reproduces ~8%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+CELL_UNITS = 1.0
+"""Area of one 6T bit-cell, the unit everything else is measured in."""
+
+DECODER_UNITS_PER_ROW = 24.0
+"""Row-decoder area per word-line: predecode, final NAND stage, and the
+word-line driver sized to swing a 512-cell row - a strip a few dozen
+cell-widths deep in real macros."""
+
+SENSE_AMP_UNITS_PER_COLUMN = 40.0
+"""Differential sense amp + write driver + precharge + column select per
+column: SRAM periphery strips are tens of cell-heights tall."""
+
+SINGLE_ENDED_EXTRA_PER_COLUMN = 12.0
+"""Reconfiguration switches + reference generation for single-ended
+compute sensing (the second rail's comparator path)."""
+
+XOR_GATE_UNITS = 8.0
+"""One XOR gate (plus its share of lane-select muxing) in the tree."""
+
+COPY_CONTROL_UNITS_PER_COLUMN = 3.0
+"""Latch-reset and write-back-enable logic per column (Figure 4)."""
+
+
+@dataclass(frozen=True)
+class SubarrayArea:
+    """Area breakdown of one sub-array, in bit-cell units."""
+
+    rows: int
+    cols: int
+    cells: float
+    base_decoder: float
+    sense_amps: float
+    second_decoder: float
+    single_ended_extra: float
+    reduction_tree: float
+    copy_control: float
+
+    @property
+    def baseline(self) -> float:
+        """Conventional sub-array: cells + one decoder + differential amps."""
+        return self.cells + self.base_decoder + self.sense_amps
+
+    @property
+    def compute_additions(self) -> float:
+        return (self.second_decoder + self.single_ended_extra
+                + self.reduction_tree + self.copy_control)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """The paper's headline: ~0.08 for a 512 x 512 sub-array."""
+        return self.compute_additions / self.baseline
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "cells": self.cells,
+            "base decoder": self.base_decoder,
+            "sense amps": self.sense_amps,
+            "second decoder": self.second_decoder,
+            "single-ended extra": self.single_ended_extra,
+            "xor-reduction tree": self.reduction_tree,
+            "copy control": self.copy_control,
+        }
+
+
+def subarray_area(rows: int = 512, cols: int = 512) -> SubarrayArea:
+    """Compute the area breakdown for a rows x cols sub-array."""
+    if rows < 2 or cols < 2:
+        raise ConfigError(f"degenerate sub-array {rows}x{cols}")
+    tree_gates = cols - 1  # a full binary XOR-reduction tree over the columns
+    return SubarrayArea(
+        rows=rows,
+        cols=cols,
+        cells=rows * cols * CELL_UNITS,
+        base_decoder=rows * DECODER_UNITS_PER_ROW,
+        sense_amps=cols * SENSE_AMP_UNITS_PER_COLUMN,
+        second_decoder=rows * DECODER_UNITS_PER_ROW,
+        single_ended_extra=cols * SINGLE_ENDED_EXTRA_PER_COLUMN,
+        reduction_tree=tree_gates * XOR_GATE_UNITS,
+        copy_control=cols * COPY_CONTROL_UNITS_PER_COLUMN,
+    )
+
+
+def cache_area_overhead(rows: int, cols: int, num_subarrays: int) -> float:
+    """Whole-cache compute overhead (the controller additions are noise
+    next to the per-sub-array periphery, so this equals the sub-array
+    fraction)."""
+    one = subarray_area(rows, cols)
+    return (one.compute_additions * num_subarrays) / (one.baseline * num_subarrays)
+
+
+def tree_depth(cols: int, lane_bits: int) -> int:
+    """Logic depth of the XOR-reduction tree for one clmul lane."""
+    if lane_bits < 1:
+        raise ConfigError("lane width must be positive")
+    return max(1, math.ceil(math.log2(lane_bits)))

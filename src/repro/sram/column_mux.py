@@ -1,0 +1,99 @@
+"""Column multiplexing (Section IV-C).
+
+Physical SRAM sub-arrays multiplex several adjacent bit-lines onto one
+sense amplifier (keeping peripheral area in check and hardening against
+multi-bit particle strikes).  The paper's observation: with column
+multiplexing, *adjacent bits of a cache block are interleaved across
+different sub-arrays* so that the bits read together are never behind the
+same mux - an entire block is still accessed in one cycle, and in-place
+computation on all bits of a block remains possible.  The logical block
+partition is simply interleaved across the physical sub-arrays.
+
+:class:`ColumnMuxLayout` makes that bit-to-(physical sub-array, column)
+mapping explicit and verifiable:
+
+* each physical sub-array serves ``block_bits / mux_degree`` bits of every
+  block through its sense amps;
+* two bits that share a mux group are always from *different* cache
+  blocks' bit positions, never the same block;
+* the way-mapping design choice is unaffected because blocks of different
+  sets - not ways - are interleaved (the paper's final remark in IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BitLocation:
+    """Physical home of one logical bit of a cache block."""
+
+    physical_subarray: int
+    column_group: int
+    mux_select: int
+
+
+class ColumnMuxLayout:
+    """Logical-block-bit to physical-column mapping under column muxing.
+
+    Parameters
+    ----------
+    block_bits:
+        Bits per cache block (512 for 64-byte blocks).
+    mux_degree:
+        Adjacent bit-lines sharing one sense amplifier (2, 4, or 8
+        typically).
+    """
+
+    def __init__(self, block_bits: int = 512, mux_degree: int = 4) -> None:
+        if mux_degree < 1 or mux_degree & (mux_degree - 1):
+            raise ConfigError(f"mux degree {mux_degree} must be a power of two")
+        if block_bits % mux_degree:
+            raise ConfigError("block bits must divide evenly across the mux")
+        self.block_bits = block_bits
+        self.mux_degree = mux_degree
+        self.physical_subarrays = mux_degree
+        self.bits_per_physical = block_bits // mux_degree
+
+    def locate_bit(self, bit: int) -> BitLocation:
+        """Where logical bit ``bit`` of a block physically lives.
+
+        Adjacent logical bits round-robin across physical sub-arrays, so
+        the ``mux_degree`` bits behind any one sense amp belong to
+        *different* logical bit positions of the interleaved layout - all
+        ``block_bits`` can be sensed in one cycle.
+        """
+        if not 0 <= bit < self.block_bits:
+            raise ConfigError(f"bit {bit} outside block of {self.block_bits} bits")
+        return BitLocation(
+            physical_subarray=bit % self.mux_degree,
+            column_group=bit // self.mux_degree,
+            mux_select=0,  # one select suffices: a block never needs two
+            # bits from the same mux group
+        )
+
+    def bits_sensed_per_cycle(self) -> int:
+        """All block bits are available simultaneously: one per sense amp
+        across the interleaved physical sub-arrays."""
+        return self.physical_subarrays * self.bits_per_physical
+
+    def conflicts_within_block(self) -> int:
+        """Mux conflicts when reading one whole block: must be zero for
+        single-cycle block access (and hence for in-place compute)."""
+        seen: set[tuple[int, int]] = set()
+        conflicts = 0
+        for bit in range(self.block_bits):
+            loc = self.locate_bit(bit)
+            key = (loc.physical_subarray, loc.column_group)
+            if key in seen:
+                conflicts += 1
+            seen.add(key)
+        return conflicts
+
+    def strike_resilience_distance(self) -> int:
+        """Physical distance (in columns) between adjacent logical bits -
+        the multi-bit-upset protection column muxing buys."""
+        return self.mux_degree

@@ -1,0 +1,251 @@
+"""The compute-capable SRAM sub-array (Sections II-B and IV-B).
+
+A :class:`ComputeSubarray` composes the raw bit-cell array, the added dual
+row decoder, and the reconfigurable sense amplifiers into the unit the CC
+controller talks to.  Every row holds one cache block; all rows share
+bit-lines, so any two rows of the same sub-array are in the same *block
+partition* and can be operated on in place.
+
+Supported in-place operations (all bit-exact):
+
+=============  =====================================================
+``read``       conventional differential read of one row
+``write``      conventional write of one row
+``and``        BL sensing over two activated rows
+``nor``        BLB sensing over two activated rows
+``or``         complement of ``nor``
+``xor``        NOR of BL and BLB sense results
+``not``        complement read driven to a destination row
+``copy``       sense a row, feed the latch back onto the bit-lines
+``buz``        reset the data latch, write zeros
+``cmp``        per-word wired-NOR of the XOR result -> equality mask
+``search``     ``cmp`` against a key previously written to a row
+``clmul``      AND of two rows, XOR-reduction tree per lane
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitops import bits_to_bytes, bytes_to_bits, word_equality_mask, xor_reduce_lanes
+from ..errors import AddressError, ISAError
+from .bitcell import BitCellArray
+from .decoder import DualRowDecoder
+from .sense_amp import SenseAmpColumn, SenseMode
+from .timing import SubarrayTiming
+
+
+class SubarrayOp:
+    """String constants naming sub-array operations."""
+
+    READ = "read"
+    WRITE = "write"
+    AND = "and"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    NOT = "not"
+    COPY = "copy"
+    BUZ = "buz"
+    CMP = "cmp"
+    SEARCH = "search"
+    CLMUL = "clmul"
+
+    LOGICAL = frozenset({AND, OR, NOR, XOR})
+    ALL = frozenset(
+        {READ, WRITE, AND, OR, NOR, XOR, NOT, COPY, BUZ, CMP, SEARCH, CLMUL}
+    )
+
+
+@dataclass
+class SubarrayStats:
+    """Cycle and energy accounting for one sub-array."""
+
+    reads: int = 0
+    writes: int = 0
+    compute_ops: dict[str, int] = field(default_factory=dict)
+    energy_pj: float = 0.0
+    busy_cycles: float = 0.0
+
+    def record(self, op: str, energy: float, delay: float) -> None:
+        if op == SubarrayOp.READ:
+            self.reads += 1
+        elif op == SubarrayOp.WRITE:
+            self.writes += 1
+        else:
+            self.compute_ops[op] = self.compute_ops.get(op, 0) + 1
+        self.energy_pj += energy
+        self.busy_cycles += delay
+
+    @property
+    def total_compute_ops(self) -> int:
+        return sum(self.compute_ops.values())
+
+
+class ComputeSubarray:
+    """One sub-array: ``rows`` cache blocks sharing ``cols`` bit-lines."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        timing: SubarrayTiming | None = None,
+        max_activated: int = 64,
+        wordline_underdrive: bool = True,
+    ) -> None:
+        if cols % 8:
+            raise AddressError(f"sub-array width {cols} is not a whole number of bytes")
+        self.rows = rows
+        self.cols = cols
+        self.cells = BitCellArray(
+            rows, cols, max_activated=max_activated, wordline_underdrive=wordline_underdrive
+        )
+        self.decoder = DualRowDecoder(rows)
+        self.sense = SenseAmpColumn(cols)
+        self.timing = timing or SubarrayTiming()
+        self.stats = SubarrayStats()
+
+    # -- conventional access ------------------------------------------------
+
+    def read_block(self, row: int) -> bytes:
+        """Conventional differential read of one row (one cache block)."""
+        wl = self.decoder.decode(row)
+        self.sense.configure(SenseMode.DIFFERENTIAL)
+        bl, blb = self.cells.activate(wl)
+        bits = self.sense.sense_differential(bl, blb)
+        self._account(SubarrayOp.READ)
+        return bits_to_bytes(bits)
+
+    def write_block(self, row: int, data: bytes) -> None:
+        """Conventional write of one row."""
+        bits = bytes_to_bits(data)
+        if bits.size != self.cols:
+            raise AddressError(
+                f"block of {len(data)} bytes does not fill a {self.cols}-bit row"
+            )
+        self.decoder.decode(row)
+        self.cells.write_row(row, bits)
+        self._account(SubarrayOp.WRITE)
+
+    # -- in-place compute ---------------------------------------------------
+
+    def _compute_sense(self, row_a: int, row_b: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dual activation with single-ended sensing; returns (AND, NOR)."""
+        wl = self.decoder.decode(row_a, row_b)
+        self.sense.configure(SenseMode.SINGLE_ENDED)
+        bl, blb = self.cells.activate(wl)
+        return self.sense.sense_single_ended(bl, blb)
+
+    def op_and(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
+        """In-place AND of two rows; optionally written back to ``dest``."""
+        and_bits, _ = self._compute_sense(row_a, row_b)
+        self._account(SubarrayOp.AND)
+        return self._finish(and_bits, dest)
+
+    def op_nor(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
+        """In-place NOR of two rows (sensed on bit-line-bar)."""
+        _, nor_bits = self._compute_sense(row_a, row_b)
+        self._account(SubarrayOp.NOR)
+        return self._finish(nor_bits, dest)
+
+    def op_or(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
+        """In-place OR: complement of the NOR sense result."""
+        _, nor_bits = self._compute_sense(row_a, row_b)
+        self._account(SubarrayOp.OR)
+        return self._finish(~nor_bits, dest)
+
+    def op_xor(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
+        """In-place XOR: NOR of the BL (AND) and BLB (NOR) sense results."""
+        and_bits, nor_bits = self._compute_sense(row_a, row_b)
+        xor_bits = ~(and_bits | nor_bits)
+        self._account(SubarrayOp.XOR)
+        return self._finish(xor_bits, dest)
+
+    def op_not(self, row: int, dest: int | None = None) -> bytes:
+        """Complement of one row, via BLB sensing of a single activation."""
+        wl = self.decoder.decode(row)
+        self.sense.configure(SenseMode.SINGLE_ENDED)
+        bl, blb = self.cells.activate(wl)
+        _, not_bits = self.sense.sense_single_ended(bl, blb)
+        self._account(SubarrayOp.NOT)
+        return self._finish(not_bits, dest)
+
+    def op_copy(self, src: int, dest: int) -> bytes:
+        """In-place copy via the sense-amp feedback path (Figure 4).
+
+        The source row is sensed, the latched value is driven back onto the
+        bit-lines, and the destination word-line is write-enabled.  The data
+        never leaves the sub-array.
+        """
+        wl = self.decoder.decode(src)
+        self.sense.configure(SenseMode.DIFFERENTIAL)
+        bl, blb = self.cells.activate(wl)
+        self.sense.sense_differential(bl, blb)
+        bits = self.sense.drive_back()
+        self.cells.write_row(dest, bits)
+        self._account(SubarrayOp.COPY)
+        return bits_to_bytes(bits)
+
+    def op_buz(self, dest: int) -> None:
+        """In-place zeroing: reset the data latch, then write (cc_buz)."""
+        self.sense.reset_latch()
+        bits = self.sense.drive_back()
+        self.decoder.decode(dest)
+        self.cells.write_row(dest, bits)
+        self._account(SubarrayOp.BUZ)
+
+    def op_cmp(self, row_a: int, row_b: int, word_bits: int = 64) -> int:
+        """Word-granular equality of two rows.
+
+        The per-bit XOR results are combined per word with a wired-NOR;
+        returns a mask with bit *i* set iff word *i* of the two rows match.
+        """
+        and_bits, nor_bits = self._compute_sense(row_a, row_b)
+        xor_bits = ~(and_bits | nor_bits)
+        self._account(SubarrayOp.CMP)
+        return word_equality_mask(xor_bits, word_bits)
+
+    def op_search(self, data_row: int, key_row: int, key_bytes: int = 64) -> int:
+        """Compare a data row against a replicated key row (cc_search).
+
+        The key occupies ``key_bytes`` (the paper fixes 64); equality is
+        reported at key granularity: bit *i* of the result is set iff the
+        *i*-th key-sized chunk of the data row equals the key.
+        """
+        and_bits, nor_bits = self._compute_sense(data_row, key_row)
+        xor_bits = ~(and_bits | nor_bits)
+        self._account(SubarrayOp.SEARCH)
+        return word_equality_mask(xor_bits, key_bytes * 8)
+
+    def op_clmul(self, row_a: int, row_b: int, lane_bits: int) -> bytes:
+        """Carry-less multiply: AND of two rows + XOR-reduction per lane.
+
+        Each ``lane_bits``-wide lane reduces to a single parity bit
+        (Table II: ``c_i = XOR_j (a[j] & b[j])``); the result is returned
+        as packed bytes, one bit per lane, zero-padded to a whole byte.
+        """
+        if lane_bits not in (64, 128, 256):
+            raise ISAError(f"cc_clmul lane width must be 64/128/256, got {lane_bits}")
+        and_bits, _ = self._compute_sense(row_a, row_b)
+        lanes = xor_reduce_lanes(and_bits, lane_bits)
+        self._account(SubarrayOp.CLMUL)
+        mask = 0
+        for i, bit in enumerate(lanes):
+            if bit:
+                mask |= 1 << i
+        return mask.to_bytes((lanes.size + 7) // 8, "little")
+
+    # -- helpers ------------------------------------------------------------
+
+    def _finish(self, bits: np.ndarray, dest: int | None) -> bytes:
+        """Optionally write a compute result back to a destination row."""
+        if dest is not None:
+            self.sense.latch_value(bits)
+            self.cells.write_row(dest, self.sense.drive_back())
+        return bits_to_bytes(bits)
+
+    def _account(self, op: str) -> None:
+        self.stats.record(op, self.timing.op_energy(op), self.timing.op_delay(op))

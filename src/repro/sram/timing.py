@@ -1,0 +1,88 @@
+"""Delay and energy annotations for compute sub-arrays (Section VI-C).
+
+The paper's SPICE results on a 28 nm process give, relative to a single
+sub-array access:
+
+* delay: ``and``/``or``/``xor`` in-place operations take 3x a normal
+  access; all other CC operations take 2x;
+* energy: ``cmp``/``search``/``clmul`` cost 1.5x, ``copy``/``buz``/``not``
+  cost 2x, and the remaining (``and``/``or``/``xor``) cost 2.5x a baseline
+  sub-array access;
+* area: +8% for a 512x512 sub-array (second decoder, single-ended sense
+  reconfiguration, XOR-reduction tree).
+
+These multipliers convert a level's baseline sub-array access delay/energy
+into per-CC-operation numbers.  Absolute per-block energies (Table V) live
+in :mod:`repro.energy.tables`; this module carries the relative circuit
+model so alternative cache geometries can be annotated consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ISAError
+
+DELAY_MULTIPLIER = {
+    "and": 3.0,
+    "or": 3.0,
+    "nor": 3.0,
+    "xor": 3.0,
+    "not": 2.0,
+    "copy": 2.0,
+    "buz": 2.0,
+    "cmp": 2.0,
+    "search": 2.0,
+    "clmul": 2.0,
+    "read": 1.0,
+    "write": 1.0,
+}
+
+ENERGY_MULTIPLIER = {
+    "cmp": 1.5,
+    "search": 1.5,
+    "clmul": 1.5,
+    "copy": 2.0,
+    "buz": 2.0,
+    "not": 2.0,
+    "and": 2.5,
+    "or": 2.5,
+    "nor": 2.5,
+    "xor": 2.5,
+    "read": 1.0,
+    "write": 1.0,
+}
+
+AREA_OVERHEAD = 0.08
+"""Fractional sub-array area added by the compute extensions."""
+
+
+@dataclass(frozen=True)
+class SubarrayTiming:
+    """Per-sub-array delay/energy model.
+
+    Parameters
+    ----------
+    access_delay_cycles:
+        Delay of one conventional sub-array access, in core cycles.
+    access_energy_pj:
+        Energy of one conventional sub-array access (data array only,
+        excluding H-tree transfer), in pJ.
+    """
+
+    access_delay_cycles: float = 4.0
+    access_energy_pj: float = 100.0
+
+    def op_delay(self, op: str) -> float:
+        """Delay of a CC operation in core cycles."""
+        try:
+            return self.access_delay_cycles * DELAY_MULTIPLIER[op]
+        except KeyError:
+            raise ISAError(f"unknown sub-array operation {op!r}") from None
+
+    def op_energy(self, op: str) -> float:
+        """Energy of a CC operation in pJ (sub-array only)."""
+        try:
+            return self.access_energy_pj * ENERGY_MULTIPLIER[op]
+        except KeyError:
+            raise ISAError(f"unknown sub-array operation {op!r}") from None

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test-suite.
+
+Most tests run on :func:`repro.params.small_test_machine`, a shrunken
+configuration that preserves the geometry ratios (banks, block partitions,
+way-to-partition mapping) of the paper's Table IV machine, so operand
+locality and coherence behave identically while staying fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ComputeCacheMachine
+from repro.params import sandybridge_8core, small_test_machine
+
+
+@pytest.fixture
+def small_config():
+    return small_test_machine()
+
+
+@pytest.fixture
+def paper_config():
+    return sandybridge_8core()
+
+
+@pytest.fixture
+def machine(small_config):
+    """A small machine, fresh per test."""
+    return ComputeCacheMachine(small_config)
+
+
+@pytest.fixture
+def paper_machine():
+    """The full Table IV machine (slower; use sparingly)."""
+    return ComputeCacheMachine(sandybridge_8core())
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+def random_bytes(rng, n: int) -> bytes:
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+@pytest.fixture
+def make_bytes(rng):
+    def _make(n: int) -> bytes:
+        return random_bytes(rng, n)
+
+    return _make

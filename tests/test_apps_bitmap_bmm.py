@@ -1,0 +1,118 @@
+"""DB-BitMap and BMM application tests."""
+
+import numpy as np
+import pytest
+
+from repro import ComputeCacheMachine
+from repro.apps import bitmap_db, bmm
+from repro.params import small_test_machine
+
+
+class TestBitmapDataset:
+    def test_bins_partition_rows(self):
+        ds = bitmap_db.make_dataset(7, n_rows=4096, cardinalities=(8,))
+        total = np.zeros(ds.bitmap_bytes, dtype=np.uint8)
+        for b in range(8):
+            total |= ds.bitmaps[0][b]
+        assert (total == 0xFF).all()  # every row in exactly one bin
+        stacked = sum(np.unpackbits(ds.bitmaps[0][b]).astype(int) for b in range(8))
+        assert set(stacked.tolist()) == {1}
+
+    def test_bins_match_values(self):
+        ds = bitmap_db.make_dataset(7, n_rows=4096, cardinalities=(4,))
+        bits = np.unpackbits(ds.bitmaps[0][2])
+        assert np.array_equal(bits == 1, ds.values[0] == 2)
+
+    def test_row_count_validation(self):
+        with pytest.raises(ValueError):
+            bitmap_db.make_dataset(1, n_rows=100)
+
+
+class TestBitmapQueries:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = bitmap_db.make_dataset(9, n_rows=1 << 14, cardinalities=(8, 4))
+        queries = bitmap_db.make_query_mix(ds, 10, n_queries=5)
+        refs = [bitmap_db.reference_query(ds, q).tobytes() for q in queries]
+        return ds, queries, refs
+
+    @pytest.fixture(scope="class")
+    def results(self, setup):
+        ds, queries, _ = setup
+        base = bitmap_db.run_bitmap_queries(
+            ds, queries, "baseline", ComputeCacheMachine(small_test_machine()))
+        cc = bitmap_db.run_bitmap_queries(
+            ds, queries, "cc", ComputeCacheMachine(small_test_machine()))
+        return base, cc
+
+    def test_query_mix_includes_conjunction(self, setup):
+        _, queries, _ = setup
+        assert any(q.and_attr is not None for q in queries)
+
+    def test_baseline_results_exact(self, setup, results):
+        assert results[0].output == setup[2]
+
+    def test_cc_results_exact(self, setup, results):
+        assert results[1].output == setup[2]
+
+    def test_cc_faster_and_fewer_instructions(self, results):
+        base, cc = results
+        assert cc.instructions < base.instructions
+        assert cc.cycles < base.cycles
+
+    def test_cc_saves_dynamic_energy(self, results):
+        base, cc = results
+        assert cc.energy.total() < base.energy.total()
+
+    def test_unknown_variant_rejected(self, setup):
+        ds, queries, _ = setup
+        with pytest.raises(ValueError):
+            bitmap_db.run_bitmap_queries(ds, queries, "quantum")
+
+
+class TestBMM:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return bmm.make_matrices(seed=13, n=64)
+
+    @pytest.fixture(scope="class")
+    def results(self, workload):
+        base = bmm.run_bmm(workload, "baseline",
+                           ComputeCacheMachine(small_test_machine()))
+        cc = bmm.run_bmm(workload, "cc", ComputeCacheMachine(small_test_machine()))
+        return base, cc
+
+    def test_reference_is_gf2(self, workload):
+        ref = bmm.reference_bmm(workload)
+        assert set(np.unique(ref)) <= {0, 1}
+
+    def test_baseline_matches_reference(self, workload, results):
+        assert np.array_equal(results[0].output, bmm.reference_bmm(workload))
+
+    def test_cc_matches_reference(self, workload, results):
+        assert np.array_equal(results[1].output, bmm.reference_bmm(workload))
+
+    def test_massive_instruction_reduction(self, results):
+        """The paper reports 98% fewer instructions for BMM."""
+        base, cc = results
+        assert cc.instructions < base.instructions * 0.05
+
+    def test_cc_speedup(self, results):
+        """Paper: 3.2x; shape check: clearly faster."""
+        base, cc = results
+        assert base.cycles / cc.cycles > 2.0
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            bmm.make_matrices(1, n=100)
+        with pytest.raises(ValueError):
+            bmm.make_matrices(1, n=512)
+
+    def test_identity_matrix(self):
+        n = 64
+        eye = np.eye(n, dtype=np.uint8)
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        wl = bmm.BMMWorkload(n=n, a=a, b=eye)
+        cc = bmm.run_bmm(wl, "cc", ComputeCacheMachine(small_test_machine()))
+        assert np.array_equal(cc.output, a)

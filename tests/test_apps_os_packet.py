@@ -1,0 +1,109 @@
+"""OS bulk-copy and packet-filter application tests."""
+
+import pytest
+
+from repro import ComputeCacheMachine
+from repro.apps import os_copy, packet_filter
+from repro.params import small_test_machine
+
+
+class TestOSCopy:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return os_copy.make_syscall_trace(seed=31, n_events=10)
+
+    def test_trace_composition(self, workload):
+        services = {service for service, _ in workload.events}
+        assert services <= set(os_copy.SERVICES)
+        assert workload.total_bytes > 0
+
+    def test_both_variants_copy_exactly(self, workload):
+        """run_os_copy asserts dst == src internally for every event."""
+        for variant in ("base32", "cc"):
+            res = os_copy.run_os_copy(
+                workload, variant, ComputeCacheMachine(small_test_machine()))
+            assert res.output == workload.total_bytes
+
+    def test_cc_wins_cycles_and_instructions(self, workload):
+        base = os_copy.run_os_copy(workload, "base32",
+                                   ComputeCacheMachine(small_test_machine()))
+        cc = os_copy.run_os_copy(workload, "cc",
+                                 ComputeCacheMachine(small_test_machine()))
+        assert cc.cycles < base.cycles
+        assert cc.instructions < base.instructions / 5
+        assert cc.energy.total() < base.energy.total()
+
+    def test_per_service_breakdown(self, workload):
+        res = os_copy.run_os_copy(workload, "cc",
+                                  ComputeCacheMachine(small_test_machine()))
+        breakdown = res.stats["per_service_cycles"]
+        assert set(breakdown) == set(os_copy.SERVICES)
+        active = {s for s, _ in workload.events}
+        for service in active:
+            assert breakdown[service] > 0
+
+    def test_bandwidth_ordering(self):
+        base_bw = os_copy.copy_bandwidth("base32", size=16 * 1024)
+        cc_bw = os_copy.copy_bandwidth("cc", size=16 * 1024)
+        assert cc_bw > 2 * base_bw
+
+    def test_bad_variant(self, workload):
+        with pytest.raises(ValueError):
+            os_copy.run_os_copy(workload, "dma")
+
+
+class TestPacketFilter:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return packet_filter.make_workload(seed=33, n_packets=96, n_rules=4)
+
+    @pytest.fixture(scope="class")
+    def results(self, workload):
+        base = packet_filter.run_packet_filter(
+            workload, "baseline", ComputeCacheMachine(small_test_machine()))
+        cc = packet_filter.run_packet_filter(
+            workload, "cc", ComputeCacheMachine(small_test_machine()))
+        return base, cc
+
+    def test_reference_sane(self, workload):
+        ref = packet_filter.reference_classify(workload)
+        assert len(ref) == 96
+        assert set(ref) <= {-1, 0, 1, 2, 3}
+        assert any(v >= 0 for v in ref)
+
+    def test_baseline_matches_reference(self, workload, results):
+        assert results[0].output == packet_filter.reference_classify(workload)
+
+    def test_cc_matches_reference(self, workload, results):
+        assert results[1].output == packet_filter.reference_classify(workload)
+
+    def test_cc_fewer_instructions(self, results):
+        base, cc = results
+        assert cc.instructions < base.instructions / 4
+
+    def test_rule_semantics(self):
+        rule = packet_filter.Rule(mask=b"\xff" + bytes(63),
+                                  value=b"\x02" + bytes(63), action="drop")
+        assert rule.matches(b"\x02" + b"\xAA" * 63)
+        assert not rule.matches(b"\x03" + b"\xAA" * 63)
+
+    def test_first_match_wins(self):
+        """A packet matching several rules gets the lowest index."""
+        mask = b"\x00" * 64  # match-all rules
+        rules = (
+            packet_filter.Rule(mask=mask, value=bytes(64), action="a"),
+            packet_filter.Rule(mask=mask, value=bytes(64), action="b"),
+        )
+        headers = tuple(
+            bytes([1]) + bytes(63) for _ in range(4)
+        )
+        wl = packet_filter.PacketWorkload(headers=headers, rules=rules)
+        ref = packet_filter.reference_classify(wl)
+        assert ref == [0, 0, 0, 0]
+        cc = packet_filter.run_packet_filter(
+            wl, "cc", ComputeCacheMachine(small_test_machine()))
+        assert cc.output == ref
+
+    def test_bad_variant(self, workload):
+        with pytest.raises(ValueError):
+            packet_filter.run_packet_filter(workload, "asic")

@@ -1,0 +1,81 @@
+"""Property tests: assembler round-trips over generated instructions, and
+ring-topology metric laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import format_instruction, parse
+from repro.cache.ring import RingInterconnect
+from repro.core.isa import CCInstruction, Opcode
+from repro.params import RingConfig
+
+BLOCK = 64
+addr_st = st.integers(0, 1 << 20).map(lambda v: v * BLOCK)
+blocks_st = st.integers(1, 8)
+
+
+@st.composite
+def instructions(draw) -> CCInstruction:
+    opcode = draw(st.sampled_from(list(Opcode)))
+    size = draw(blocks_st) * BLOCK
+    src1 = draw(addr_st)
+    if opcode is Opcode.BUZ:
+        return CCInstruction(opcode, src1=src1, size=size)
+    if opcode in (Opcode.COPY, Opcode.NOT):
+        return CCInstruction(opcode, src1=src1, dest=draw(addr_st), size=size)
+    if opcode is Opcode.CMP:
+        return CCInstruction(opcode, src1=src1, src2=draw(addr_st), size=size)
+    if opcode is Opcode.SEARCH:
+        return CCInstruction(opcode, src1=src1, src2=draw(addr_st), size=size)
+    if opcode is Opcode.CLMUL:
+        return CCInstruction(
+            opcode, src1=src1, src2=draw(addr_st), dest=draw(addr_st),
+            size=size, lane_bits=draw(st.sampled_from([64, 128, 256])),
+            broadcast_src2=draw(st.booleans()),
+        )
+    return CCInstruction(opcode, src1=src1, src2=draw(addr_st),
+                         dest=draw(addr_st), size=size)
+
+
+class TestAssemblerProperty:
+    @given(instructions())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_any_valid_instruction(self, instr):
+        assert parse(format_instruction(instr)) == instr
+
+    @given(instructions())
+    @settings(max_examples=60, deadline=None)
+    def test_formatting_is_single_line(self, instr):
+        text = format_instruction(instr)
+        assert "\n" not in text
+        assert text.startswith("cc_")
+
+
+class TestRingMetricProperties:
+    @given(st.integers(1, 32), st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=80, deadline=None)
+    def test_hops_symmetric_and_bounded(self, stops, a, b):
+        ring = RingInterconnect(RingConfig(stops=stops))
+        a %= stops
+        b %= stops
+        assert ring.hops(a, b) == ring.hops(b, a)
+        assert 0 <= ring.hops(a, b) <= stops // 2
+        assert ring.hops(a, a) == 0
+
+    @given(st.integers(2, 16), st.integers(0, 63), st.integers(0, 63),
+           st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, stops, a, b, c):
+        ring = RingInterconnect(RingConfig(stops=stops))
+        a, b, c = a % stops, b % stops, c % stops
+        assert ring.hops(a, c) <= ring.hops(a, b) + ring.hops(b, c)
+
+    @given(st.integers(1, 16), st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_proportional_to_hops(self, stops, a, b):
+        cfg = RingConfig(stops=stops)
+        ring = RingInterconnect(cfg)
+        a, b = a % stops, b % stops
+        expected = ring.hops(a, b) * cfg.flits_per_block * cfg.energy_per_hop_per_flit
+        assert ring.block_transfer_energy(a, b) == pytest.approx(expected)

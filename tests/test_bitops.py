@@ -1,0 +1,156 @@
+"""Unit and property tests for :mod:`repro.bitops`."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitops import (
+    bits_to_bytes,
+    bytes_and,
+    bytes_not,
+    bytes_or,
+    bytes_to_bits,
+    bytes_xor,
+    chunk_range,
+    parity,
+    popcount_mask,
+    word_equality_mask,
+    xor_reduce_lanes,
+)
+from repro.errors import AddressError
+
+
+class TestBitConversion:
+    def test_round_trip_simple(self):
+        data = bytes(range(64))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.binary(min_size=1, max_size=256))
+    def test_round_trip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_bit_count(self):
+        assert bytes_to_bits(b"\xff\x00").sum() == 8
+
+    def test_msb_first_order(self):
+        bits = bytes_to_bits(b"\x80")
+        assert bits[0] and not bits[1:].any()
+
+    def test_non_byte_multiple_rejected(self):
+        with pytest.raises(AddressError):
+            bits_to_bytes(np.zeros(9, dtype=bool))
+
+
+class TestWordEqualityMask:
+    def test_all_equal(self):
+        xor = np.zeros(512, dtype=bool)
+        assert word_equality_mask(xor) == 0xFF
+
+    def test_no_words_equal(self):
+        xor = np.ones(512, dtype=bool)
+        assert word_equality_mask(xor) == 0
+
+    def test_single_word_mismatch(self):
+        xor = np.zeros(512, dtype=bool)
+        xor[3 * 64 + 17] = True  # word 3 differs in one bit
+        assert word_equality_mask(xor) == 0xFF & ~(1 << 3)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(AddressError):
+            word_equality_mask(np.zeros(100, dtype=bool))
+
+    @given(st.lists(st.booleans(), min_size=8, max_size=8))
+    def test_mask_matches_per_word(self, mismatches):
+        xor = np.zeros(512, dtype=bool)
+        for i, mismatch in enumerate(mismatches):
+            if mismatch:
+                xor[i * 64] = True
+        mask = word_equality_mask(xor)
+        for i, mismatch in enumerate(mismatches):
+            assert bool(mask & (1 << i)) == (not mismatch)
+
+
+class TestXorReduceLanes:
+    def test_zero_input(self):
+        assert not xor_reduce_lanes(np.zeros(512, dtype=bool), 64).any()
+
+    def test_single_bit_per_lane(self):
+        bits = np.zeros(512, dtype=bool)
+        bits[0] = True  # lane 0 parity 1
+        bits[64] = bits[65] = True  # lane 1 parity 0
+        lanes = xor_reduce_lanes(bits, 64)
+        assert lanes[0] and not lanes[1]
+
+    @given(st.binary(min_size=64, max_size=64))
+    def test_matches_popcount_parity(self, data):
+        bits = bytes_to_bits(data)
+        lanes = xor_reduce_lanes(bits, 64)
+        for i in range(8):
+            lane_bytes = data[i * 8 : (i + 1) * 8]
+            ones = sum(bin(b).count("1") for b in lane_bytes)
+            assert lanes[i] == bool(ones & 1)
+
+    def test_bad_lane_size(self):
+        with pytest.raises(AddressError):
+            xor_reduce_lanes(np.zeros(512, dtype=bool), 100)
+
+
+class TestByteWiseOps:
+    @given(st.binary(min_size=8, max_size=64), st.binary(min_size=8, max_size=64))
+    def test_ops_match_int_arithmetic(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        ia, ib = int.from_bytes(a, "little"), int.from_bytes(b, "little")
+        assert int.from_bytes(bytes_xor(a, b), "little") == ia ^ ib
+        assert int.from_bytes(bytes_and(a, b), "little") == ia & ib
+        assert int.from_bytes(bytes_or(a, b), "little") == ia | ib
+
+    def test_not_involution(self):
+        data = bytes(range(64))
+        assert bytes_not(bytes_not(data)) == data
+
+    def test_length_mismatch(self):
+        with pytest.raises(AddressError):
+            bytes_xor(b"\x00", b"\x00\x00")
+
+
+class TestParityPopcount:
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_parity(self, v):
+        assert parity(v) == bin(v).count("1") % 2
+
+    def test_popcount(self):
+        assert popcount_mask(0b1011) == 3
+        assert popcount_mask(0) == 0
+
+
+class TestChunkRange:
+    def test_aligned_blocks(self):
+        pieces = list(chunk_range(0, 256, 64))
+        assert pieces == [(0, 64), (64, 64), (128, 64), (192, 64)]
+
+    def test_unaligned_start(self):
+        pieces = list(chunk_range(50, 100, 64))
+        assert pieces == [(50, 14), (64, 64), (128, 22)]
+
+    def test_empty(self):
+        assert list(chunk_range(10, 0, 64)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(AddressError):
+            list(chunk_range(0, -1, 64))
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=5_000),
+        st.sampled_from([64, 128, 4096]),
+    )
+    def test_pieces_cover_range(self, start, size, chunk):
+        pieces = list(chunk_range(start, size, chunk))
+        assert sum(p for _, p in pieces) == size
+        cursor = start
+        for addr, length in pieces:
+            assert addr == cursor
+            assert addr // chunk == (addr + length - 1) // chunk or length == 0
+            cursor += length

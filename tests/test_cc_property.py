@@ -1,0 +1,191 @@
+"""Property-based testing of the full CC stack.
+
+Random operand layouts (offsets, sizes, page positions, cache residency)
+and random operation sequences are checked against a flat numpy reference,
+regardless of which path (in-place / near-place / split pieces) the
+controller chose.  Also: algebraic identities computed *entirely* with CC
+instructions, and random multi-core interleavings of CC ops and stores.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ComputeCacheMachine, cc_ops
+from repro.params import BLOCK_SIZE, PAGE_SIZE, small_test_machine
+
+
+def np_u8(data: bytes) -> np.ndarray:
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+@st.composite
+def layouts(draw):
+    """Random operand layouts: aligned or deliberately offset."""
+    blocks = draw(st.integers(1, 8))
+    size = blocks * BLOCK_SIZE
+    colocated = draw(st.booleans())
+    a_off = draw(st.integers(0, 15)) * BLOCK_SIZE
+    if colocated:
+        b_off, c_off = a_off, a_off
+    else:
+        b_off = draw(st.integers(0, 15)) * BLOCK_SIZE
+        c_off = draw(st.integers(0, 15)) * BLOCK_SIZE
+    warm = draw(st.sampled_from(["none", "l1", "l3"]))
+    return size, a_off, b_off, c_off, warm
+
+
+@given(
+    layouts(),
+    st.sampled_from(["and", "or", "xor", "copy"]),
+    st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+    st.binary(min_size=BLOCK_SIZE, max_size=BLOCK_SIZE),
+)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_cc_correct_for_any_layout(layout, op, seed_a, seed_b):
+    """Whatever the layout (co-located or not, resident or not), the
+    architectural result equals the numpy reference."""
+    size, a_off, b_off, c_off, warm = layout
+    m = ComputeCacheMachine(small_test_machine())
+    pages = 16 * PAGE_SIZE
+    a = m.arena.alloc(pages) + a_off
+    b = m.arena.alloc(pages, align=PAGE_SIZE) + b_off
+    c = m.arena.alloc(pages, align=PAGE_SIZE) + c_off
+    da = (seed_a * ((size // BLOCK_SIZE) + 1))[:size]
+    db = (seed_b * ((size // BLOCK_SIZE) + 1))[:size]
+    m.load(a, da)
+    m.load(b, db)
+    if warm == "l1":
+        for addr in (a, b):
+            m.touch_range(addr, size)
+    elif warm == "l3":
+        for addr in (a, b):
+            m.warm_l3(addr, size)
+
+    if op == "copy":
+        instr = cc_ops.cc_copy(a, c, size)
+        expected = da
+    elif op == "and":
+        instr = cc_ops.cc_and(a, b, c, size)
+        expected = (np_u8(da) & np_u8(db)).tobytes()
+    elif op == "or":
+        instr = cc_ops.cc_or(a, b, c, size)
+        expected = (np_u8(da) | np_u8(db)).tobytes()
+    else:
+        instr = cc_ops.cc_xor(a, b, c, size)
+        expected = (np_u8(da) ^ np_u8(db)).tobytes()
+
+    res = m.cc(instr)
+    assert m.peek(c, size) == expected
+    assert m.peek(a, size) == da  # sources intact
+    if op != "copy":
+        assert m.peek(b, size) == db
+    # Accounting sanity: every block op landed somewhere.
+    assert res.inplace_ops + res.nearplace_ops + res.risc_ops == size // BLOCK_SIZE
+    m.hierarchy.check_inclusion()
+    m.hierarchy.check_single_writer()
+
+
+@given(st.binary(min_size=256, max_size=256), st.binary(min_size=256, max_size=256))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_de_morgan_entirely_in_cache(da, db):
+    """~(a | b) == ~a & ~b, computed with CC instructions only."""
+    m = ComputeCacheMachine(small_test_machine())
+    size = 256
+    a, b, t1, t2, t3, lhs, rhs = m.arena.alloc_colocated(size, 7)
+    m.load(a, da)
+    m.load(b, db)
+    m.cc(cc_ops.cc_or(a, b, t1, size))
+    m.cc(cc_ops.cc_not(t1, lhs, size))       # ~(a | b)
+    m.cc(cc_ops.cc_not(a, t2, size))
+    m.cc(cc_ops.cc_not(b, t3, size))
+    m.cc(cc_ops.cc_and(t2, t3, rhs, size))   # ~a & ~b
+    assert m.peek(lhs, size) == m.peek(rhs, size)
+    mask = m.cc(cc_ops.cc_cmp(lhs, rhs, size)).result
+    assert mask == (1 << (size // 8)) - 1    # cc_cmp agrees
+
+
+@given(st.binary(min_size=128, max_size=128))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_xor_involution_in_cache(data):
+    """(a ^ b) ^ b == a via two cc_xor into fresh destinations."""
+    m = ComputeCacheMachine(small_test_machine())
+    size = 128
+    a, b, t, out = m.arena.alloc_colocated(size, 4)
+    m.load(a, data)
+    m.load(b, bytes(reversed(data)))
+    m.cc(cc_ops.cc_xor(a, b, t, size))
+    m.cc(cc_ops.cc_xor(t, b, out, size))
+    assert m.peek(out, size) == data
+
+
+@st.composite
+def mixed_ops(draw):
+    n = draw(st.integers(2, 12))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["store", "cc_copy", "cc_xor", "read"]))
+        core = draw(st.integers(0, 1))
+        buf = draw(st.integers(0, 2))
+        value = draw(st.integers(0, 255))
+        ops.append((kind, core, buf, value))
+    return ops
+
+
+@given(mixed_ops())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_multicore_cc_store_interleavings(ops):
+    """Random interleavings of stores, reads, and CC ops from two cores
+    stay coherent with a flat reference model."""
+    size = 128
+    m = ComputeCacheMachine(small_test_machine())
+    bufs = m.arena.alloc_colocated(size, 4)
+    reference = [bytearray(size) for _ in range(4)]
+    for i, buf in enumerate(bufs):
+        seed = bytes([i * 17 + 1]) * size
+        m.load(buf, seed)
+        reference[i][:] = seed
+
+    for kind, core, buf, value in ops:
+        if kind == "store":
+            m.write(bufs[buf], bytes([value]) * 8, core=core)
+            reference[buf][:8] = bytes([value]) * 8
+        elif kind == "cc_copy":
+            m.cc(cc_ops.cc_copy(bufs[buf], bufs[3], size), core=core)
+            reference[3][:] = reference[buf]
+        elif kind == "cc_xor":
+            m.cc(cc_ops.cc_xor(bufs[0], bufs[1], bufs[2], size), core=core)
+            reference[2][:] = bytes(
+                x ^ y for x, y in zip(reference[0], reference[1])
+            )
+        else:
+            out = m.read(bufs[buf], size, core=core)
+            assert out == bytes(reference[buf])
+
+    for i, buf in enumerate(bufs):
+        assert m.peek(buf, size) == bytes(reference[i]), f"buffer {i}"
+    m.hierarchy.check_inclusion()
+    m.hierarchy.check_single_writer()
+
+
+@given(st.integers(1, 6), st.integers(0, 5))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_page_spanning_operands_exact(blocks_before_boundary, extra_blocks):
+    """Operands straddling page boundaries split and still compute exactly."""
+    m = ComputeCacheMachine(small_test_machine())
+    size = (blocks_before_boundary + extra_blocks + 1) * BLOCK_SIZE
+    region = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+    a = region + PAGE_SIZE - blocks_before_boundary * BLOCK_SIZE
+    dest_region = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+    c = dest_region + PAGE_SIZE - blocks_before_boundary * BLOCK_SIZE
+    data = bytes(range(256)) * ((size // 256) + 1)
+    data = data[:size]
+    m.load(a, data)
+    res = m.cc(cc_ops.cc_copy(a, c, size))
+    assert m.peek(c, size) == data
+    assert res.pieces >= 2

@@ -1,0 +1,54 @@
+"""RMO consistency model tests (Section IV-G)."""
+
+import pytest
+
+from repro.core.consistency import (
+    OpKind,
+    RMOOrderModel,
+    intra_instruction_fence_possible,
+)
+from repro.errors import ReproError
+
+
+class TestRMOOrdering:
+    def test_non_fence_ops_unordered(self):
+        """RMO: no ordering between data reads/writes, including CC ops."""
+        model = RMOOrderModel()
+        model.issue(OpKind.STORE)
+        model.issue(OpKind.CC_RW)
+        for kind in (OpKind.LOAD, OpKind.STORE, OpKind.CC_R, OpKind.CC_RW):
+            assert model.may_issue(kind)
+
+    def test_fence_blocked_by_pending(self):
+        model = RMOOrderModel()
+        op = model.issue(OpKind.CC_RW)
+        assert not model.may_issue(OpKind.FENCE)
+        model.complete(op)
+        assert model.may_issue(OpKind.FENCE)
+
+    def test_fence_drains_cc_ops(self):
+        """A fence cannot commit until pending CC operations complete."""
+        model = RMOOrderModel()
+        model.issue(OpKind.CC_RW)
+        model.issue(OpKind.CC_R)
+        model.issue(OpKind.LOAD)
+        assert len(model.pending_cc()) == 2
+        drained = model.drain_for_fence()
+        assert drained == 3
+        assert model.pending_count == 0
+        assert model.stats.fences == 1
+        assert model.stats.max_drain == 3
+
+    def test_fence_not_issuable_via_issue(self):
+        model = RMOOrderModel()
+        with pytest.raises(ReproError):
+            model.issue(OpKind.FENCE)
+
+    def test_complete_unknown_rejected(self):
+        model = RMOOrderModel()
+        with pytest.raises(ReproError):
+            model.complete(42)
+
+    def test_no_intra_instruction_fence(self):
+        """IV-G: no fence between scalar ops of one CC instruction."""
+        assert intra_instruction_fence_possible() is False

@@ -1,0 +1,148 @@
+"""Controller corner cases: splits, occupancy, table pressure, aliasing."""
+
+import pytest
+
+from repro import ComputeCacheMachine, cc_ops
+from repro.cache.hierarchy import L3
+from repro.params import BLOCK_SIZE, PAGE_SIZE, small_test_machine
+
+
+@pytest.fixture
+def m():
+    return ComputeCacheMachine(small_test_machine())
+
+
+class TestPageSplitIntegration:
+    def test_split_counted_and_correct(self, m, make_bytes):
+        region = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+        dst_region = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+        a = region + PAGE_SIZE - 2 * BLOCK_SIZE
+        c = dst_region + PAGE_SIZE - 2 * BLOCK_SIZE
+        data = make_bytes(4 * BLOCK_SIZE)
+        m.load(a, data)
+        res = m.cc(cc_ops.cc_copy(a, c, 4 * BLOCK_SIZE))
+        assert res.pieces == 2
+        assert m.controllers[0].stats.page_splits == 1
+        assert m.peek(c, 4 * BLOCK_SIZE) == data
+
+    def test_cmp_result_spans_pieces(self, m, make_bytes):
+        """A split cc_cmp still packs its 64-bit mask contiguously."""
+        region = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+        other = m.arena.alloc(4 * PAGE_SIZE, align=PAGE_SIZE)
+        a = region + PAGE_SIZE - BLOCK_SIZE
+        b = other + PAGE_SIZE - BLOCK_SIZE
+        data = make_bytes(2 * BLOCK_SIZE)
+        mutated = bytearray(data)
+        mutated[8 * 9] ^= 1   # word 9 (block 1, word 1) differs
+        m.load(a, data)
+        m.load(b, bytes(mutated))
+        res = m.cc(cc_ops.cc_cmp(a, b, 2 * BLOCK_SIZE))
+        assert res.pieces == 2
+        assert res.result == (0xFFFF & ~(1 << 9))
+
+
+class TestOccupancyModel:
+    def test_occupancy_below_latency(self, m, make_bytes):
+        a, c = m.arena.alloc_colocated(1024, 2)
+        m.load(a, make_bytes(1024))
+        m.warm_l3(a, 1024)
+        m.warm_l3(c, 1024)
+        res = m.cc(cc_ops.cc_copy(a, c, 1024))
+        assert 0 < res.occupancy_cycles <= res.cycles
+
+    def test_occupancy_scales_with_blocks(self, m, make_bytes):
+        sizes = (256, 1024)
+        occupancies = []
+        for size in sizes:
+            a, c = m.arena.alloc_colocated(size, 2)
+            m.load(a, make_bytes(size))
+            occupancies.append(m.cc(cc_ops.cc_copy(a, c, size)).occupancy_cycles)
+        assert occupancies[1] > occupancies[0]
+
+    def test_nearplace_occupancy_includes_logic_unit(self, m, make_bytes):
+        a, c = m.arena.alloc_colocated(512, 2)
+        m.load(a, make_bytes(512))
+        inp = m.cc(cc_ops.cc_copy(a, c, 512))
+        near = m.cc(cc_ops.cc_copy(a, c, 512), force_nearplace=True)
+        assert near.occupancy_cycles > inp.occupancy_cycles
+
+
+class TestOperandAliasing:
+    def test_accumulate_into_source(self, m, make_bytes):
+        """c = a | c (destination aliases a source) - the DB-BitMap
+        accumulation pattern."""
+        a, c = m.arena.alloc_colocated(256, 2)
+        da, dc = make_bytes(256), make_bytes(256)
+        m.load(a, da)
+        m.load(c, dc)
+        m.cc(cc_ops.cc_or(a, c, c, 256))
+        expected = bytes(x | y for x, y in zip(da, dc))
+        assert m.peek(c, 256) == expected
+
+    def test_self_copy_is_identity(self, m, make_bytes):
+        data = make_bytes(128)
+        a, c = m.arena.alloc_colocated(128, 2)
+        m.load(a, data)
+        m.cc(cc_ops.cc_copy(a, c, 128))
+        m.cc(cc_ops.cc_copy(c, a, 128))
+        assert m.peek(a, 128) == data
+
+
+class TestSearchCorners:
+    def test_key_equal_to_empty_block_matches_empty_slots(self, m):
+        """An all-zero key matches zeroed blocks - software must avoid
+        zero keys or zero-fill guards (documented hazard)."""
+        data, key = m.arena.alloc_colocated(256, 2)
+        m.load(data, bytes(256))
+        res = m.cc(cc_ops.cc_search(data, key, 256))
+        assert res.result == 0b1111
+
+    def test_search_at_l1(self, m, make_bytes):
+        data, key = m.arena.alloc_colocated(256, 2)
+        blocks = [make_bytes(64) for _ in range(4)]
+        m.load(data, b"".join(blocks))
+        m.load(key, blocks[3])
+        m.touch_range(data, 256)
+        m.touch_range(key, 64)
+        res = m.cc(cc_ops.cc_search(data, key, 256))
+        assert res.level == "L1"
+        assert res.result == 0b1000
+
+    def test_search_force_nearplace_same_result(self, m, make_bytes):
+        data, key = m.arena.alloc_colocated(256, 2)
+        blocks = [make_bytes(64) for _ in range(4)]
+        m.load(data, b"".join(blocks))
+        m.load(key, blocks[1])
+        inp = m.cc(cc_ops.cc_search(data, key, 256))
+        near = m.cc(cc_ops.cc_search(data, key, 256), force_nearplace=True)
+        assert inp.result == near.result == 0b0010
+
+
+class TestL3EvictionUnderCC:
+    def test_cc_data_survives_l3_pressure(self, m, make_bytes):
+        """CC-written blocks evicted from L3 reach memory intact."""
+        a, c = m.arena.alloc_colocated(256, 2)
+        data = make_bytes(256)
+        m.load(a, data)
+        m.cc(cc_ops.cc_copy(a, c, 256))
+        # Thrash the L3 slice with conflicting traffic.
+        cfg = m.config.l3_slice
+        stride = cfg.sets * cfg.block_size
+        slice_id = m.hierarchy.home_slice(c, 0)
+        for i in range(1, 3 * cfg.ways):
+            victim = c + i * stride
+            if victim + 64 <= m.config.memory_size:
+                m.hierarchy.place_page(victim, slice_id)
+                m.read(victim, 8)
+        assert m.peek(c, 256) == data
+
+    def test_force_level_l3_functional(self, m, make_bytes):
+        a, c = m.arena.alloc_colocated(256, 2)
+        data = make_bytes(256)
+        m.load(a, data)
+        m.touch_range(a, 256)
+        res = m.cc(cc_ops.cc_copy(a, c, 256), force_level=L3)
+        assert res.level == L3
+        assert m.peek(c, 256) == data
+        # Stale private copies of the destination were invalidated.
+        assert not m.hierarchy.l1[0].contains(c)

@@ -1,0 +1,95 @@
+"""Fuzzing the text frontends and the ECC repair path.
+
+The assembler and trace parser accept untrusted text: any input must
+either parse or raise :class:`ISAError` - never crash with anything else.
+The ECC path must repair a strike at *any* bit position of any block.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ComputeCacheMachine
+from repro.asm import parse
+from repro.core.scrub import ScrubService
+from repro.errors import ISAError
+from repro.params import small_test_machine
+from repro.trace import TraceReader, run_trace
+
+
+class TestAssemblerFuzz:
+    @given(st.text(max_size=80))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except ISAError:
+            pass  # the only acceptable failure mode
+
+    @given(st.text(alphabet="cc_andorxbuzsearch0123456789x, #", max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_near_miss_mnemonics(self, text):
+        try:
+            parse(text)
+        except ISAError:
+            pass
+
+    @given(st.integers(-(2**40), 2**40), st.integers(-(2**20), 2**20))
+    @settings(max_examples=80, deadline=None)
+    def test_numeric_extremes(self, addr, size):
+        try:
+            instr = parse(f"cc_buz {addr}, {size}")
+        except ISAError:
+            return
+        # If it parsed, the ISA validated it: in-range and aligned.
+        assert instr.src1 >= 0 and instr.src1 % 64 == 0
+        assert 0 < instr.size <= 16 * 1024
+
+
+class TestTraceFuzz:
+    @given(st.lists(st.text(max_size=50), max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_traces_never_crash_parser(self, lines):
+        reader = TraceReader()
+        for i, line in enumerate(lines):
+            try:
+                reader.feed_line(line, i)
+            except ISAError:
+                pass
+
+    @given(st.lists(
+        st.sampled_from(["scalar", "branch", "fence",
+                         "load 0x0, 8", "store 0x40, zeros:8",
+                         "cc_buz 0x0, 64", "cc_copy 0x0, 0x1000, 64"]),
+        min_size=1, max_size=12,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_valid_event_sequences_execute(self, events):
+        trace = "init 0x0, zeros:4096\ninit 0x1000, zeros:4096\n" + "\n".join(events)
+        m = ComputeCacheMachine(small_test_machine())
+        result = run_trace(trace, m)
+        assert result.instructions == len(events)
+        assert result.cycles >= len(events)
+
+
+class TestECCStrikeSweep:
+    @given(st.integers(0, 511 * 8 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_bit_strike_repaired(self, bit):
+        """Every bit position of an 8-block region: strike -> scrub ->
+        identical data."""
+        m = ComputeCacheMachine(small_test_machine())
+        addr = m.arena.alloc_page_aligned(512)
+        rng = np.random.default_rng(bit)
+        m.load(addr, rng.integers(0, 256, 512, dtype=np.uint8).tobytes())
+        m.warm_l3(addr, 512)
+        level = m.hierarchy.l3[m.hierarchy.home_slice(addr, 0)]
+        service = ScrubService(level)
+        service.protect_resident()
+        block = addr + (bit // 512) * 64
+        before = level.peek_block(block)
+        service.inject_strike(block, bit=bit % 512)
+        report = service.scrub_pass()
+        assert report.corrections == 1
+        assert level.peek_block(block) == before

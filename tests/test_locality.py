@@ -1,0 +1,87 @@
+"""Operand-locality predicate tests (Section IV-C, Table III)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.locality import (
+    alignment_satisfies,
+    check_operand_locality,
+    page_aligned_pair,
+    partitions_match,
+    required_alignment_bits,
+)
+from repro.errors import OperandLocalityError
+from repro.params import PAGE_SIZE, sandybridge_8core
+
+
+@pytest.fixture
+def cfg():
+    return sandybridge_8core()
+
+
+class TestPartitionsMatch:
+    def test_page_aligned_operands_always_match(self, cfg):
+        """The paper's headline software rule: same page offset => operand
+        locality at every cache level."""
+        for level in (cfg.l1d, cfg.l2, cfg.l3_slice):
+            assert partitions_match(3 * PAGE_SIZE + 0x40, 7 * PAGE_SIZE + 0x40, level)
+
+    def test_different_offsets_can_fail(self, cfg):
+        # Offsets differing in a bank-select bit land in different banks.
+        assert not partitions_match(0x000, 0x040, cfg.l3_slice)
+
+    def test_same_block_partition_within_page(self, cfg):
+        """Operands need the same 4 KB *offset*, not separate pages: an
+        address and itself + 4 KB-multiple inside a superpage both work."""
+        base = 0x10000
+        assert partitions_match(base, base + PAGE_SIZE, cfg.l3_slice)
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**30))
+    @settings(max_examples=50)
+    def test_predicate_equals_geometry(self, a, b):
+        """The pure address check agrees with full geometry decoding."""
+        cfg = sandybridge_8core().l3_slice
+        geo = CacheGeometry(cfg)
+        a &= ~63
+        b &= ~63
+        same_partition = (
+            geo.partition_of(a) == geo.partition_of(b)
+        )
+        assert partitions_match(a, b, cfg) == same_partition
+
+
+class TestCheckOperandLocality:
+    def test_empty_and_single(self, cfg):
+        assert check_operand_locality([], cfg.l3_slice)
+        assert check_operand_locality([0x1000], cfg.l3_slice)
+
+    def test_group_pass(self, cfg):
+        addrs = [i * PAGE_SIZE + 0x80 for i in range(4)]
+        assert check_operand_locality(addrs, cfg.l3_slice)
+
+    def test_group_fail_returns_false(self, cfg):
+        assert not check_operand_locality([0x0, 0x40], cfg.l3_slice)
+
+    def test_strict_raises_with_details(self, cfg):
+        with pytest.raises(OperandLocalityError) as exc:
+            check_operand_locality([0x0, 0x40], cfg.l3_slice, strict=True)
+        assert "12" in str(exc.value)
+
+
+class TestAlignmentRules:
+    def test_required_alignment_is_l3(self, cfg):
+        bits = required_alignment_bits([cfg.l1d, cfg.l2, cfg.l3_slice])
+        assert bits == 12  # one 4 KB page
+
+    def test_portability_rule(self, cfg):
+        """A binary compiled for 12-bit alignment runs on caches needing
+        <= 12 bits (Section IV-C)."""
+        for level in (cfg.l1d, cfg.l2, cfg.l3_slice):
+            assert alignment_satisfies(12, level)
+        assert not alignment_satisfies(10, cfg.l3_slice)
+
+    def test_page_aligned_pair(self):
+        assert page_aligned_pair(0x1100, 0x5100)
+        assert not page_aligned_pair(0x1100, 0x5140)

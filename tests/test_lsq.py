@@ -1,0 +1,112 @@
+"""Vector LSQ and split store-buffer tests (Section IV-H)."""
+
+import pytest
+
+from repro.core.lsq import (
+    AddressRange,
+    ScalarStoreBuffer,
+    StoreOrderPolice,
+    VectorLSQ,
+    VectorStoreBuffer,
+)
+from repro.errors import ReproError
+
+
+class TestAddressRange:
+    def test_overlap(self):
+        a = AddressRange(0x100, 0x40)
+        assert a.overlaps(AddressRange(0x13F, 1))
+        assert a.overlaps(AddressRange(0x0, 0x101))
+        assert not a.overlaps(AddressRange(0x140, 0x40))
+        assert not a.overlaps(AddressRange(0x0, 0x100))
+
+
+class TestVectorLSQ:
+    def test_range_conflict_detection(self):
+        lsq = VectorLSQ()
+        lsq.insert([AddressRange(0x1000, 0x200)], is_store=True)
+        lsq.insert([AddressRange(0x4000, 0x200)], is_store=False)
+        conflicts = lsq.conflicting_stores(AddressRange(0x11C0, 8))
+        assert len(conflicts) == 1
+        assert not lsq.conflicting_stores(AddressRange(0x4000, 8))  # load, not store
+
+    def test_capacity(self):
+        lsq = VectorLSQ(capacity=1)
+        lsq.insert([AddressRange(0, 64)], is_store=False)
+        with pytest.raises(ReproError):
+            lsq.insert([AddressRange(64, 64)], is_store=False)
+
+    def test_max_comparisons_per_entry(self):
+        """Hardware supports at most 12 range comparisons per entry."""
+        lsq = VectorLSQ()
+        ranges = [AddressRange(i * 0x1000, 64) for i in range(13)]
+        with pytest.raises(ReproError):
+            lsq.insert(ranges, is_store=True)
+
+    def test_complete_removes(self):
+        lsq = VectorLSQ()
+        e = lsq.insert([AddressRange(0, 64)], is_store=True)
+        lsq.complete(e.entry_id)
+        assert len(lsq) == 0
+        with pytest.raises(ReproError):
+            lsq.complete(e.entry_id)
+
+
+class TestScalarStoreBuffer:
+    def test_coalescing_same_block(self):
+        buf = ScalarStoreBuffer()
+        e1 = buf.insert(0x100, 8)
+        e2 = buf.insert(0x108, 8)
+        assert e1 is e2
+        assert e1.size == 16
+        assert buf.coalesced == 1
+
+    def test_no_coalescing_across_blocks(self):
+        buf = ScalarStoreBuffer()
+        e1 = buf.insert(0x100, 8)
+        e2 = buf.insert(0x140, 8)
+        assert e1 is not e2
+
+
+class TestVectorStoreBuffer:
+    def test_never_coalesces(self):
+        """CC-RW output is unknown until the cache performs it (IV-H)."""
+        buf = VectorStoreBuffer()
+        e1 = buf.insert([AddressRange(0x100, 64)])
+        e2 = buf.insert([AddressRange(0x100, 64)])
+        assert e1 is not e2
+        assert len(buf) == 2
+
+
+class TestStoreOrderPolice:
+    def test_scalar_stalls_behind_vector(self):
+        """Same-location stores in different buffers keep program order."""
+        police = StoreOrderPolice(ScalarStoreBuffer(), VectorStoreBuffer())
+        vec = police.admit_vector([AddressRange(0x1000, 0x100)])
+        scalar = police.admit_scalar(0x1040, 8)
+        assert scalar.stalled
+        assert vec.successor == scalar.entry_id
+        police.vector_completed(vec.entry_id)
+        assert not scalar.stalled
+
+    def test_vector_stalls_behind_scalar(self):
+        police = StoreOrderPolice(ScalarStoreBuffer(), VectorStoreBuffer())
+        scalar = police.admit_scalar(0x1040, 8)
+        vec = police.admit_vector([AddressRange(0x1000, 0x100)])
+        assert vec.stalled
+        police.scalar_completed(scalar.entry_id)
+        assert not vec.stalled
+
+    def test_disjoint_stores_do_not_stall(self):
+        police = StoreOrderPolice(ScalarStoreBuffer(), VectorStoreBuffer())
+        police.admit_vector([AddressRange(0x1000, 0x100)])
+        scalar = police.admit_scalar(0x9000, 8)
+        assert not scalar.stalled
+        assert police.stalls_imposed == 0
+
+    def test_forwarding_rules(self):
+        """No forwarding from vector stores, none to vector loads."""
+        assert StoreOrderPolice.may_forward(False, False)
+        assert not StoreOrderPolice.may_forward(True, False)
+        assert not StoreOrderPolice.may_forward(False, True)
+        assert not StoreOrderPolice.may_forward(True, True)

@@ -1,0 +1,64 @@
+"""Page-span exception handler tests (Section IV-D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import split_by_pages
+from repro.core.isa import cc_and, cc_copy, cc_search
+from repro.errors import PageSpanError
+from repro.params import BLOCK_SIZE, PAGE_SIZE
+
+
+class TestSplitByPages:
+    def test_no_split_needed(self):
+        instr = cc_copy(0x1000, 0x3000, 4096)
+        assert split_by_pages(instr) == [instr]
+
+    def test_single_crossing(self):
+        instr = cc_copy(PAGE_SIZE - 128, 3 * PAGE_SIZE - 128, 256)
+        pieces = split_by_pages(instr)
+        assert len(pieces) == 2
+        assert [p.size for p in pieces] == [128, 128]
+        for piece in pieces:
+            assert not piece.spans_page_boundary()
+
+    def test_misaligned_operands_multiple_cuts(self):
+        """Operands at different page offsets need cuts from both."""
+        instr = cc_and(PAGE_SIZE - 192, 2 * PAGE_SIZE - 64, 4 * PAGE_SIZE, 256)
+        pieces = split_by_pages(instr)
+        assert sum(p.size for p in pieces) == 256
+        for piece in pieces:
+            assert not piece.spans_page_boundary()
+
+    def test_split_disabled_raises(self):
+        instr = cc_copy(PAGE_SIZE - 64, 3 * PAGE_SIZE - 64, 128)
+        with pytest.raises(PageSpanError):
+            split_by_pages(instr, allow_split=False)
+
+    def test_search_key_kept_intact(self):
+        instr = cc_search(PAGE_SIZE - 256, 8 * PAGE_SIZE, 512)
+        pieces = split_by_pages(instr)
+        assert len(pieces) == 2
+        assert all(p.src2 == 8 * PAGE_SIZE for p in pieces)
+
+    @given(
+        st.integers(0, 4 * PAGE_SIZE // BLOCK_SIZE - 1),
+        st.integers(0, 4 * PAGE_SIZE // BLOCK_SIZE - 1),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60)
+    def test_pieces_reassemble(self, src_blk, dst_blk, blocks):
+        src = src_blk * BLOCK_SIZE
+        dst = 16 * PAGE_SIZE + dst_blk * BLOCK_SIZE
+        size = blocks * BLOCK_SIZE
+        instr = cc_copy(src, dst, size)
+        pieces = split_by_pages(instr)
+        assert sum(p.size for p in pieces) == size
+        cursor_src, cursor_dst = src, dst
+        for piece in pieces:
+            assert piece.src1 == cursor_src
+            assert piece.dest == cursor_dst
+            assert not piece.spans_page_boundary()
+            cursor_src += piece.size
+            cursor_dst += piece.size

@@ -1,0 +1,109 @@
+"""Tag array tests: LRU, pinning, victim selection."""
+
+import pytest
+
+from repro.cache.block import MESIState
+from repro.cache.set_assoc import SetAssociativeArray
+from repro.errors import PinnedLineError
+from repro.params import CacheLevelConfig
+
+
+@pytest.fixture
+def tags():
+    cfg = CacheLevelConfig(name="T", size=4 * 1024, ways=4, banks=2,
+                           bps_per_bank=2, hit_latency=1)
+    return SetAssociativeArray(cfg)
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self, tags):
+        assert tags.lookup(0, 0x10) is None
+        tags.install(0, 0, 0x10, MESIState.EXCLUSIVE)
+        assert tags.lookup(0, 0x10) == 0
+        assert tags.stats.hits == 1
+        assert tags.stats.misses == 1
+
+    def test_probe_uncounted(self, tags):
+        tags.install(0, 0, 0x10, MESIState.SHARED)
+        tags.probe(0, 0x10)
+        assert tags.stats.lookups == 0
+
+    def test_install_evicts_stats(self, tags):
+        for i in range(5):
+            way = tags.victim_way(0)
+            tags.install(0, way, i, MESIState.EXCLUSIVE)
+        assert tags.stats.evictions == 1
+
+
+class TestLRU:
+    def test_invalid_way_preferred(self, tags):
+        tags.install(0, 0, 1, MESIState.SHARED)
+        assert tags.victim_way(0) == 1  # first invalid way
+
+    def test_lru_order(self, tags):
+        for way, tag in enumerate([10, 11, 12, 13]):
+            tags.install(0, way, tag, MESIState.SHARED)
+        tags.touch(0, 0)  # way 0 becomes MRU; way 1 is now LRU
+        assert tags.victim_way(0) == 1
+
+    def test_touch_changes_victim(self, tags):
+        for way, tag in enumerate([10, 11, 12, 13]):
+            tags.install(0, way, tag, MESIState.SHARED)
+        tags.touch(0, 1)
+        tags.touch(0, 0)
+        assert tags.victim_way(0) == 2
+
+
+class TestPinning:
+    def test_pinned_way_not_victim(self, tags):
+        for way, tag in enumerate([10, 11, 12, 13]):
+            tags.install(0, way, tag, MESIState.SHARED)
+        tags.pin(0, 0, owner=7)  # way 0 is LRU but pinned
+        assert tags.victim_way(0) == 1
+        assert tags.stats.pinned_evictions_avoided >= 1
+
+    def test_all_pinned_raises(self, tags):
+        for way, tag in enumerate([10, 11, 12, 13]):
+            tags.install(0, way, tag, MESIState.SHARED)
+            tags.pin(0, way, owner=1)
+        with pytest.raises(PinnedLineError):
+            tags.victim_way(0)
+
+    def test_pin_promotes_to_mru(self, tags):
+        for way, tag in enumerate([10, 11, 12, 13]):
+            tags.install(0, way, tag, MESIState.SHARED)
+        tags.pin(0, 0, owner=1)
+        tags.unpin(0, 0)
+        assert tags.victim_way(0) == 1  # way 0 was MRU-promoted by the pin
+
+    def test_double_pin_same_owner_ok(self, tags):
+        tags.install(0, 0, 10, MESIState.SHARED)
+        tags.pin(0, 0, owner=1)
+        tags.pin(0, 0, owner=1)
+
+    def test_double_pin_other_owner_rejected(self, tags):
+        tags.install(0, 0, 10, MESIState.SHARED)
+        tags.pin(0, 0, owner=1)
+        with pytest.raises(PinnedLineError):
+            tags.pin(0, 0, owner=2)
+
+    def test_install_clears_pin(self, tags):
+        tags.install(0, 0, 10, MESIState.SHARED)
+        tags.pin(0, 0, owner=1)
+        tags.install(0, 0, 11, MESIState.EXCLUSIVE)
+        assert not tags.entry(0, 0).pinned
+
+    def test_pinned_ways_listing(self, tags):
+        tags.install(0, 0, 10, MESIState.SHARED)
+        tags.install(0, 1, 11, MESIState.SHARED)
+        tags.pin(0, 1, owner=3)
+        assert tags.pinned_ways(0) == [1]
+
+
+class TestIteration:
+    def test_valid_entries(self, tags):
+        tags.install(0, 0, 10, MESIState.SHARED)
+        tags.install(3, 2, 11, MESIState.MODIFIED)
+        entries = list(tags.valid_entries())
+        assert len(entries) == 2
+        assert {(s, w) for s, w, _ in entries} == {(0, 0), (3, 2)}

@@ -1,0 +1,103 @@
+"""Stateful model test for the compute sub-array.
+
+Hypothesis drives a random interleaving of writes, reads, and every
+in-place operation against a numpy mirror; the sub-array must agree with
+the mirror at every step (reads, op results, and non-destructiveness)."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sram import ComputeSubarray
+
+ROWS = 6
+COLS = 256  # 32-byte rows keep the model fast
+
+rows_st = st.integers(0, ROWS - 1)
+data_st = st.binary(min_size=COLS // 8, max_size=COLS // 8)
+
+
+class SubarrayMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sub = ComputeSubarray(rows=ROWS, cols=COLS)
+        self.mirror = [bytes(COLS // 8) for _ in range(ROWS)]
+
+    def _np(self, row):
+        return np.frombuffer(self.mirror[row], dtype=np.uint8)
+
+    @rule(row=rows_st, data=data_st)
+    def write(self, row, data):
+        self.sub.write_block(row, data)
+        self.mirror[row] = data
+
+    @rule(row=rows_st)
+    def read(self, row):
+        assert self.sub.read_block(row) == self.mirror[row]
+
+    @rule(a=rows_st, b=rows_st, dest=rows_st)
+    def op_and(self, a, b, dest):
+        out = self.sub.op_and(a, b, dest=dest)
+        expected = (self._np(a) & self._np(b)).tobytes()
+        assert out == expected
+        self.mirror[dest] = expected
+
+    @rule(a=rows_st, b=rows_st, dest=rows_st)
+    def op_or(self, a, b, dest):
+        out = self.sub.op_or(a, b, dest=dest)
+        expected = (self._np(a) | self._np(b)).tobytes()
+        assert out == expected
+        self.mirror[dest] = expected
+
+    @rule(a=rows_st, b=rows_st, dest=rows_st)
+    def op_xor(self, a, b, dest):
+        out = self.sub.op_xor(a, b, dest=dest)
+        expected = (self._np(a) ^ self._np(b)).tobytes()
+        assert out == expected
+        self.mirror[dest] = expected
+
+    @rule(src=rows_st, dest=rows_st)
+    def op_not(self, src, dest):
+        out = self.sub.op_not(src, dest=dest)
+        expected = (~self._np(src)).astype(np.uint8).tobytes()
+        assert out == expected
+        self.mirror[dest] = expected
+
+    @rule(src=rows_st, dest=rows_st)
+    def op_copy(self, src, dest):
+        self.sub.op_copy(src, dest)
+        self.mirror[dest] = self.mirror[src]
+
+    @rule(row=rows_st)
+    def op_buz(self, row):
+        self.sub.op_buz(row)
+        self.mirror[row] = bytes(COLS // 8)
+
+    @rule(a=rows_st, b=rows_st)
+    def op_cmp(self, a, b):
+        mask = self.sub.op_cmp(a, b)
+        for w in range(COLS // 64):
+            lhs = self.mirror[a][w * 8 : (w + 1) * 8]
+            rhs = self.mirror[b][w * 8 : (w + 1) * 8]
+            assert bool(mask >> w & 1) == (lhs == rhs)
+
+    @rule(a=rows_st, b=rows_st)
+    def op_clmul(self, a, b):
+        packed = self.sub.op_clmul(a, b, 64)
+        bits = int.from_bytes(packed, "little")
+        anded = (self._np(a) & self._np(b)).tobytes()
+        for lane in range(COLS // 64):
+            ones = sum(bin(x).count("1") for x in anded[lane * 8 : (lane + 1) * 8])
+            assert bool(bits >> lane & 1) == bool(ones & 1)
+
+    @invariant()
+    def all_rows_match_mirror(self):
+        for row in range(ROWS):
+            assert self.sub.read_block(row) == self.mirror[row], f"row {row}"
+
+
+SubarrayMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None,
+)
+TestSubarrayStateful = SubarrayMachine.TestCase

@@ -1,0 +1,120 @@
+"""Timing-model invariants: monotonicity and ordering properties that must
+hold regardless of calibration constants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ComputeCacheMachine, cc_ops
+from repro.params import small_test_machine
+
+
+def staged_machine(size, warm="l3"):
+    m = ComputeCacheMachine(small_test_machine())
+    a, c = m.arena.alloc_colocated(size, 2)
+    m.load(a, bytes([0x5A]) * size)
+    if warm == "l3":
+        m.warm_l3(a, size)
+        m.warm_l3(c, size)
+    elif warm == "l1":
+        m.touch_range(a, size)
+        m.touch_range(c, size, for_write=True)
+    return m, a, c
+
+
+class TestMonotonicity:
+    @given(st.sampled_from([(128, 512), (256, 1024), (512, 2048)]))
+    @settings(max_examples=6, deadline=None)
+    def test_larger_operands_cost_more(self, sizes):
+        small, large = sizes
+        m1, a1, c1 = staged_machine(small)
+        m2, a2, c2 = staged_machine(large)
+        r_small = m1.cc(cc_ops.cc_copy(a1, c1, small))
+        r_large = m2.cc(cc_ops.cc_copy(a2, c2, large))
+        assert r_large.cycles > r_small.cycles
+        assert r_large.occupancy_cycles > r_small.occupancy_cycles
+
+    def test_warm_cheaper_than_cold(self):
+        m_cold, a, c = staged_machine(1024, warm="none")
+        cold = m_cold.cc(cc_ops.cc_copy(a, c, 1024))
+        m_warm, a, c = staged_machine(1024, warm="l3")
+        warm = m_warm.cc(cc_ops.cc_copy(a, c, 1024))
+        assert warm.fetch_cycles < cold.fetch_cycles
+        assert warm.cycles < cold.cycles
+
+    def test_occupancy_never_exceeds_latency(self):
+        for size in (128, 512, 2048):
+            m, a, c = staged_machine(size)
+            res = m.cc(cc_ops.cc_copy(a, c, size))
+            assert 0 < res.occupancy_cycles <= res.cycles
+
+    def test_energy_grows_with_size(self):
+        totals = []
+        for size in (256, 1024, 4096):
+            m, a, c = staged_machine(size)
+            snap = m.snapshot_energy()
+            m.cc(cc_ops.cc_copy(a, c, size))
+            totals.append(m.energy_since(snap).total())
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestLevelOrdering:
+    def test_l1_op_cheaper_energy_than_l3(self):
+        """Table V: every op costs less at L1 than at L3 per block."""
+        m1, a, c = staged_machine(512, warm="l1")
+        snap = m1.snapshot_energy()
+        res1 = m1.cc(cc_ops.cc_copy(a, c, 512))
+        e_l1 = m1.energy_since(snap).total()
+        assert res1.level == "L1"
+        m3, a, c = staged_machine(512, warm="l3")
+        snap = m3.snapshot_energy()
+        res3 = m3.cc(cc_ops.cc_copy(a, c, 512))
+        e_l3 = m3.energy_since(snap).total()
+        assert res3.level == "L3"
+        assert e_l1 < e_l3
+
+    def test_nearplace_never_cheaper_than_inplace(self):
+        for op_builder in (
+            lambda a, c, n: cc_ops.cc_copy(a, c, n),
+            lambda a, c, n: cc_ops.cc_not(a, c, n),
+        ):
+            m, a, c = staged_machine(512)
+            snap = m.snapshot_energy()
+            m.cc(op_builder(a, c, 512))
+            e_in = m.energy_since(snap).total()
+            m2, a2, c2 = staged_machine(512)
+            snap = m2.snapshot_energy()
+            m2.cc(op_builder(a2, c2, 512), force_nearplace=True)
+            e_near = m2.energy_since(snap).total()
+            assert e_in < e_near
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_numbers(self):
+        """The whole machine is deterministic: same inputs, same cycles,
+        same energy, bit for bit."""
+        results = []
+        for _ in range(2):
+            m, a, c = staged_machine(1024)
+            snap = m.snapshot_energy()
+            res = m.cc(cc_ops.cc_xor(a, a, c, 1024))
+            results.append((res.cycles, res.occupancy_cycles,
+                            m.energy_since(snap).total(), m.peek(c, 16)))
+        assert results[0] == results[1]
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_data_independence_of_timing(self, seed):
+        """Cycles depend on addresses/residency, never on data values -
+        a no-timing-side-channel property of the model."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        m, a, c = staged_machine(512, warm="none")
+        # Overwrite the staged data with seed-dependent bytes (backdoor).
+        m.hierarchy.memory.load(a, rng.integers(0, 256, 512, dtype=np.uint8)
+                                .tobytes())
+        res = m.cc(cc_ops.cc_copy(a, c, 512))
+        baseline_m, ba, bc = staged_machine(512, warm="none")
+        baseline = baseline_m.cc(cc_ops.cc_copy(ba, bc, 512))
+        assert res.cycles == baseline.cycles

@@ -1,0 +1,144 @@
+"""Toolchain integration: compiler plans executed via traces, assembler
+output fed back through the frontend, sweep helpers, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro import ComputeCacheMachine
+from repro.asm import format_instruction
+from repro.bench.sweeps import noc_distance_sweep, wordline_activation_sweep
+from repro.compiler import ArrayRef, VectorCompiler, compile_and_run
+from repro.core.isa import Opcode
+from repro.params import small_test_machine
+from repro.trace import run_trace
+
+
+class TestCompilerAllOpcodes:
+    @pytest.mark.parametrize("opcode,expected", [
+        (Opcode.AND, lambda a, b: (a & b)),
+        (Opcode.OR, lambda a, b: (a | b)),
+        (Opcode.XOR, lambda a, b: (a ^ b)),
+    ])
+    def test_binary_ops_compile_and_run(self, make_bytes, opcode, expected):
+        m = ComputeCacheMachine(small_test_machine())
+        da, db = make_bytes(512), make_bytes(512)
+        plan = compile_and_run(m, opcode, {"a": da, "b": db})
+        na, nb = np.frombuffer(da, np.uint8), np.frombuffer(db, np.uint8)
+        assert m.peek(plan.arrays["dest"].addr, 512) == expected(na, nb).tobytes()
+
+    def test_copy_compiles(self, make_bytes):
+        m = ComputeCacheMachine(small_test_machine())
+        data = make_bytes(512)
+        plan = compile_and_run(m, Opcode.COPY, {"a": data})
+        assert m.peek(plan.arrays["dest"].addr, 512) == data
+
+    def test_buz_compiles(self, make_bytes):
+        m = ComputeCacheMachine(small_test_machine())
+        plan = compile_and_run(m, Opcode.BUZ, {"a": make_bytes(512)})
+        assert m.peek(plan.arrays["a"].addr, 512) == bytes(512)
+
+    def test_cmp_compiles_with_register_results(self, make_bytes):
+        m = ComputeCacheMachine(small_test_machine())
+        data = make_bytes(1024)
+        compiler = VectorCompiler(m.config)
+        refs = compiler.place_arrays(m.arena, ["a", "b"], 1024)
+        m.load(refs["a"].addr, data)
+        m.load(refs["b"].addr, data)
+        plan = compiler.compile_elementwise(Opcode.CMP, refs["a"], refs["b"], None)
+        results = plan.run(m)
+        assert len(results) == 2  # two 512 B tiles
+        for res in results:
+            assert res.result == 2**64 - 1
+
+    def test_unsupported_opcode_rejected(self):
+        compiler = VectorCompiler(small_test_machine())
+        with pytest.raises(Exception):
+            compiler.compile_elementwise(
+                Opcode.SEARCH, ArrayRef("a", 0, 64), ArrayRef("b", 4096, 64),
+                None,
+            )
+
+
+class TestPlanToTraceRoundTrip:
+    def test_compiled_plan_replays_as_trace(self, make_bytes):
+        """Disassemble a compiled plan, splice it into a trace, replay it
+        on a fresh machine: same result."""
+        m1 = ComputeCacheMachine(small_test_machine())
+        da, db = make_bytes(512), make_bytes(512)
+        plan = compile_and_run(m1, Opcode.XOR, {"a": da, "b": db})
+        direct = m1.peek(plan.arrays["dest"].addr, 512)
+
+        a = plan.arrays["a"].addr
+        b = plan.arrays["b"].addr
+        dest = plan.arrays["dest"].addr
+        trace = "\n".join(
+            [f"init {a:#x}, bytes:{da.hex()}",
+             f"init {b:#x}, bytes:{db.hex()}"]
+            + [format_instruction(i) for i in plan.instructions]
+        )
+        m2 = ComputeCacheMachine(small_test_machine())
+        result = run_trace(trace, m2)
+        assert result.cc_instructions == plan.tile_count
+        assert m2.peek(dest, 512) == direct
+
+    def test_trace_results_expose_masks(self, make_bytes):
+        key = make_bytes(64)
+        data = key + bytes(192)
+        trace = "\n".join([
+            f"init 0x0, bytes:{data.hex()}",
+            f"init 0x1000, bytes:{key.hex()}",
+            "cc_search 0x0, 0x1000, 256",
+        ])
+        m = ComputeCacheMachine(small_test_machine())
+        result = run_trace(trace, m)
+        assert result.cc_results[0].result & 1
+        # blocks 1-3 are zeros: no match against a random key
+        assert result.cc_results[0].result == 1
+
+    def test_trace_determinism(self, make_bytes):
+        data = make_bytes(256)
+        trace = "\n".join([
+            f"init 0x0, bytes:{data.hex()}",
+            "cc_copy 0x0, 0x1000, 256",
+            "load 0x1000, 64",
+            "fence",
+        ])
+        runs = []
+        for _ in range(2):
+            m = ComputeCacheMachine(small_test_machine())
+            res = run_trace(trace, m)
+            runs.append((res.cycles, res.instructions, res.dynamic_nj,
+                         m.peek(0x1000, 256)))
+        assert runs[0] == runs[1]
+        assert runs[0][3] == data
+
+
+class TestSweepHelpers:
+    def test_wordline_sweep_rows(self):
+        rows = wordline_activation_sweep()
+        activations = [r["rows_activated"] for r in rows]
+        assert activations == [2, 4, 8, 16, 32, 64, 65]
+        assert all(r["algebra_exact"] for r in rows[:-1])
+        assert rows[-1]["rejected"]
+
+    def test_noc_sweep_shape(self):
+        rows = noc_distance_sweep()
+        assert rows[0]["hops"] == 0
+        assert rows[0]["block_energy_pj"] == 0.0
+        assert len(rows) == 5  # 8-stop ring: distances 0..4
+
+
+class TestListingFormat:
+    def test_listing_contains_every_tile(self, make_bytes):
+        m = ComputeCacheMachine(small_test_machine())
+        plan = compile_and_run(m, Opcode.AND,
+                               {"a": make_bytes(8192), "b": make_bytes(8192)})
+        listing = plan.listing()
+        # One mention per tile plus the header comment.
+        assert listing.count("cc_and") == plan.tile_count + 1
+        assert listing.splitlines()[0].startswith("; cc_and over")
+        # Each listed line re-parses to the corresponding instruction.
+        from repro.asm import parse
+
+        body = [ln for ln in listing.splitlines() if not ln.startswith(";")]
+        assert [parse(ln) for ln in body] == plan.instructions
