@@ -10,6 +10,14 @@ Bit order convention: ``bytes_to_bits`` uses big-endian bit order within a
 byte (``numpy.unpackbits`` default), which matches a left-to-right layout of
 bit-lines in a sub-array row.  All round-trips are exact; the specific order
 only matters for lane extraction, which consistently uses the same order.
+Reduction masks use the opposite, little-endian convention: word/lane 0 (the
+lowest-addressed) occupies bit 0 of the mask.
+
+Zero-length inputs are uniformly valid: every helper treats an empty byte
+string (or empty bit vector) as the identity and returns an empty result
+(or a zero mask) instead of raising.  :class:`AddressError` is reserved for
+genuinely malformed inputs - mismatched operand lengths, partial bytes, or
+ranges that do not divide into words/lanes.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from .errors import AddressError
+from .kernels import pack_flags
 
 
 def bytes_to_bits(data: bytes | bytearray | np.ndarray) -> np.ndarray:
@@ -44,13 +53,11 @@ def word_equality_mask(xor_bits: np.ndarray, word_bits: int = 64) -> int:
         raise AddressError(
             f"xor vector of {xor_bits.size} bits is not divisible by word size {word_bits}"
         )
+    if xor_bits.size == 0:
+        return 0
     words = xor_bits.reshape(-1, word_bits)
     equal = ~words.any(axis=1)
-    mask = 0
-    for i, bit in enumerate(equal):
-        if bit:
-            mask |= 1 << i
-    return mask
+    return int(pack_flags(equal)[0])
 
 
 def xor_reduce_lanes(and_bits: np.ndarray, lane_bits: int) -> np.ndarray:
@@ -79,34 +86,42 @@ def popcount_mask(mask: int) -> int:
 
 
 def bytes_xor(a: bytes, b: bytes) -> bytes:
-    """Byte-wise XOR of two equal-length byte strings."""
+    """Byte-wise XOR of two equal-length byte strings (``b"" ^ b"" == b""``)."""
     if len(a) != len(b):
         raise AddressError("XOR operands differ in length")
+    if not a:
+        return b""
     return (
         np.frombuffer(a, dtype=np.uint8) ^ np.frombuffer(b, dtype=np.uint8)
     ).tobytes()
 
 
 def bytes_and(a: bytes, b: bytes) -> bytes:
-    """Byte-wise AND of two equal-length byte strings."""
+    """Byte-wise AND of two equal-length byte strings (empty in, empty out)."""
     if len(a) != len(b):
         raise AddressError("AND operands differ in length")
+    if not a:
+        return b""
     return (
         np.frombuffer(a, dtype=np.uint8) & np.frombuffer(b, dtype=np.uint8)
     ).tobytes()
 
 
 def bytes_or(a: bytes, b: bytes) -> bytes:
-    """Byte-wise OR of two equal-length byte strings."""
+    """Byte-wise OR of two equal-length byte strings (empty in, empty out)."""
     if len(a) != len(b):
         raise AddressError("OR operands differ in length")
+    if not a:
+        return b""
     return (
         np.frombuffer(a, dtype=np.uint8) | np.frombuffer(b, dtype=np.uint8)
     ).tobytes()
 
 
 def bytes_not(a: bytes) -> bytes:
-    """Byte-wise complement of a byte string."""
+    """Byte-wise complement of a byte string (empty in, empty out)."""
+    if not a:
+        return b""
     return (~np.frombuffer(a, dtype=np.uint8)).astype(np.uint8).tobytes()
 
 

@@ -52,12 +52,15 @@ class CacheLevel:
         commands_per_cycle: int = 1,
         mshr_capacity: int = 16,
         wordline_underdrive: bool = True,
+        backend: str = "bitexact",
     ) -> None:
         self.config = config
         self.name = config.name
         self.ledger = ledger
         self.tags = SetAssociativeArray(config)
-        self.geometry = CacheGeometry(config, wordline_underdrive=wordline_underdrive)
+        self.geometry = CacheGeometry(
+            config, wordline_underdrive=wordline_underdrive, backend=backend
+        )
         self.htree = HTree(config.name, commands_per_cycle=commands_per_cycle)
         self.mshrs = MSHRFile(capacity=mshr_capacity)
         self.stats = CacheLevelStats()
@@ -176,6 +179,8 @@ class CacheLevel:
         if way is None:
             raise CoherenceError(f"{self.name}: peek of absent block {addr:#x}")
         sub, row = self.geometry.locate(addr, way)
+        if sub.is_packed:
+            return sub.cells.read_row_bytes(row)
         return bits_to_bytes(sub.cells.read_row(row))
 
     # -- CC support -------------------------------------------------------------

@@ -60,9 +60,26 @@ class CacheGeometry:
         timing: SubarrayTiming | None = None,
         max_activated: int = 64,
         wordline_underdrive: bool = True,
+        backend: str = "bitexact",
     ) -> None:
         self.config = config
         self.timing = timing or SubarrayTiming()
+        self.backend = backend
+        # Decode is on the critical path of every cache access and every CC
+        # block operation; precompute the field masks/shifts once and
+        # memoize decoded addresses (the config is frozen, so decode is
+        # pure and the cache can never go stale).
+        self._offset_mask = config.block_size - 1
+        self._offset_bits = config.offset_bits
+        self._set_mask = config.sets - 1
+        self._tag_shift = config.offset_bits + config.set_index_bits
+        self._bank_mask = config.banks - 1
+        self._bp_shift = config.bank_bits
+        self._bp_mask = config.bps_per_bank - 1
+        self._rg_shift = config.bank_bits + config.bp_bits
+        self._ways = config.ways
+        self._bps_per_bank = config.bps_per_bank
+        self._decode_cache: dict[int, AddressParts] = {}
         # One extra row per sub-array is reserved for cc_search key
         # replication: the key must share bit-lines with the data it is
         # compared against, so each block partition holds its own copy.
@@ -74,6 +91,7 @@ class CacheGeometry:
                 timing=self.timing,
                 max_activated=max_activated,
                 wordline_underdrive=wordline_underdrive,
+                backend=backend,
             )
             for _ in range(config.num_partitions)
         ]
@@ -82,25 +100,24 @@ class CacheGeometry:
 
     def decode(self, addr: int) -> AddressParts:
         """Split an address into tag/set/offset/bank/partition fields."""
+        parts = self._decode_cache.get(addr)
+        if parts is not None:
+            return parts
         if addr < 0:
             raise AddressError(f"negative address {addr:#x}")
-        cfg = self.config
-        offset = addr & (cfg.block_size - 1)
-        set_index = (addr >> cfg.offset_bits) & (cfg.sets - 1)
-        tag = addr >> (cfg.offset_bits + cfg.set_index_bits)
-        bank = set_index & (cfg.banks - 1)
-        bp = (set_index >> cfg.bank_bits) & (cfg.bps_per_bank - 1)
-        row_group = set_index >> (cfg.bank_bits + cfg.bp_bits)
-        return AddressParts(
+        set_index = (addr >> self._offset_bits) & self._set_mask
+        parts = AddressParts(
             addr=addr,
-            tag=tag,
+            tag=addr >> self._tag_shift,
             set_index=set_index,
-            offset=offset,
-            bank=bank,
-            bp=bp,
-            row_group=row_group,
-            _bps_per_bank=cfg.bps_per_bank,
+            offset=addr & self._offset_mask,
+            bank=set_index & self._bank_mask,
+            bp=(set_index >> self._bp_shift) & self._bp_mask,
+            row_group=set_index >> self._rg_shift,
+            _bps_per_bank=self._bps_per_bank,
         )
+        self._decode_cache[addr] = parts
+        return parts
 
     def partition_of(self, addr: int) -> int:
         """Flat block-partition id an address maps to."""
@@ -112,11 +129,9 @@ class CacheGeometry:
         All ways of a set sit in consecutive rows of the set's partition,
         implementing the way->partition mapping of Figure 5(a).
         """
-        cfg = self.config
-        if not 0 <= way < cfg.ways:
-            raise AddressError(f"way {way} outside 0..{cfg.ways - 1}")
-        row_group = set_index >> (cfg.bank_bits + cfg.bp_bits)
-        return row_group * cfg.ways + way
+        if not 0 <= way < self._ways:
+            raise AddressError(f"way {way} outside 0..{self._ways - 1}")
+        return (set_index >> self._rg_shift) * self._ways + way
 
     def subarray_for(self, addr: int) -> ComputeSubarray:
         """The sub-array (block partition) holding an address."""

@@ -59,19 +59,20 @@ class CacheHierarchy:
         self.config = config
         self.ledger = ledger if ledger is not None else EnergyLedger()
         cpc = config.cc.commands_per_cycle
+        backend = config.backend
         self.l1 = [
             CacheLevel(config.l1d, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive)
+                       wordline_underdrive=wordline_underdrive, backend=backend)
             for _ in range(config.cores)
         ]
         self.l2 = [
             CacheLevel(config.l2, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive)
+                       wordline_underdrive=wordline_underdrive, backend=backend)
             for _ in range(config.cores)
         ]
         self.l3 = [
             CacheLevel(config.l3_slice, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive)
+                       wordline_underdrive=wordline_underdrive, backend=backend)
             for _ in range(config.l3_slices)
         ]
         self.directory = [Directory() for _ in range(config.l3_slices)]

@@ -17,6 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .params import BACKENDS
+
 
 def _cmd_tables(_args) -> None:
     from .bench.microbench import table1_rows, table3_rows, table5_rows
@@ -104,10 +106,10 @@ def _cmd_fig11(args) -> None:
     print(render_figure11(figure11_energy(intervals=args.intervals)))
 
 
-def _cmd_demo(_args) -> None:
+def _cmd_demo(args) -> None:
     from . import ComputeCacheMachine, cc_ops
 
-    m = ComputeCacheMachine()
+    m = ComputeCacheMachine(backend=args.backend)
     a, b, c = m.arena.alloc_colocated(4096, 3)
     m.load(a, bytes(range(256)) * 16)
     m.load(b, b"\x0f" * 4096)
@@ -119,10 +121,10 @@ def _cmd_demo(_args) -> None:
           f"({m.ledger.breakdown()})")
 
 
-def _cmd_validate(_args) -> None:
+def _cmd_validate(args) -> None:
     from .validate import run_validation
 
-    if not run_validation():
+    if not run_validation(backend=args.backend):
         sys.exit(1)
 
 
@@ -166,10 +168,16 @@ def build_parser() -> argparse.ArgumentParser:
     p11.add_argument("--intervals", type=int, default=1)
     p11.set_defaults(fn=_cmd_fig11)
 
-    sub.add_parser("demo", help="quick CC walkthrough").set_defaults(fn=_cmd_demo)
-    sub.add_parser(
+    pd = sub.add_parser("demo", help="quick CC walkthrough")
+    pd.add_argument("--backend", choices=BACKENDS, default=None,
+                    help="execution backend (default: config default, packed)")
+    pd.set_defaults(fn=_cmd_demo)
+    pv = sub.add_parser(
         "validate", help="fast end-to-end self-check of every layer"
-    ).set_defaults(fn=_cmd_validate)
+    )
+    pv.add_argument("--backend", choices=BACKENDS, default=None,
+                    help="force the battery onto one execution backend")
+    pv.set_defaults(fn=_cmd_validate)
 
     pe = sub.add_parser("export", help="write machine-readable results JSON")
     pe.add_argument("--out", default="results.json")

@@ -247,6 +247,16 @@ class ComputeCacheController:
             if key_latency:
                 fetch_latencies.append(key_latency)
 
+        # Batched dispatch (phase A: fetch/pin/locate every block op; phase
+        # B: one kernel call per target sub-array) whenever it is provably
+        # equivalent to issuing the ops one at a time; otherwise fall back
+        # to the sequential per-op loop.  Both execution backends use the
+        # same dispatch, so statistics and energy are backend-invariant.
+        batchable = not force_nearplace and self._batchable(instr, level)
+        batches: dict[tuple[int, int], list] = {}
+        verify: list[tuple[BlockOperation, object, list, tuple[int, int]]] = []
+
+        ops: list[BlockOperation] = []
         for idx in range(instr.num_blocks):
             op = BlockOperation(
                 instr_id=entry.instr_id,
@@ -256,8 +266,18 @@ class ComputeCacheController:
                 lane_bits=instr.lane_bits,
             )
             self.operation_table.allocate(op)
-            self._run_block_op(op, instr, level, key_data, force_nearplace,
-                               fetch_latencies, partition_load)
+            ops.append(op)
+            if batchable:
+                self._stage_block_op(op, instr, level, key_data, fetch_latencies,
+                                     partition_load, batches, verify)
+            else:
+                self._run_block_op(op, instr, level, key_data, force_nearplace,
+                                   fetch_latencies, partition_load)
+        if batchable:
+            self._drain_batches(instr, level, key_data, batches, verify,
+                                fetch_latencies, partition_load)
+
+        for op in ops:
             if op.status is OpStatus.FAILED:
                 risc_ops += 1
             elif op.inplace:
@@ -350,6 +370,163 @@ class ComputeCacheController:
             op.status = OpStatus.ISSUED
         finally:
             self._unpin_all(op, level)
+
+    # -- batched dispatch (phase A / phase B) ----------------------------------------------------
+
+    def _batchable(self, instr: CCInstruction, level: str) -> bool:
+        """True when batched dispatch is provably equivalent to sequential.
+
+        Two conditions.  (1) No inter-op data hazard: a *shifted* overlap
+        between the destination range and a source range makes a later
+        block op read an earlier op's result, which batched gather/compute/
+        scatter would miss (an exactly aligned ``dest == src`` overlap is
+        within-op and safe).  (2) No capacity hazard: every operand block
+        (plus the staged key) must be co-resident at the compute level and
+        at every inclusive level below it, so no phase-A fetch can evict a
+        block an earlier op already located.
+        """
+        op = instr.opcode
+        if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.COPY):
+            dest = instr.dest
+            srcs = [instr.src1]
+            if op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+                srcs.append(instr.src2)
+            for src in srcs:
+                if src != dest and src < dest + instr.size and dest < src + instr.size:
+                    return False
+        blocks: set[int] = set()
+        for name, base in instr.operands().items():
+            if name == "dest" and instr.opcode is Opcode.CLMUL:
+                continue  # clmul's dest receives a scalar store after phase B
+            length = BLOCK_SIZE if (name == "src2" and instr.key_is_fixed_block) else instr.size
+            blocks.update(a for a, _ in chunk_range(base, length, BLOCK_SIZE))
+        chain = {L1: (L1, L2, L3), L2: (L2, L3), L3: (L3,)}[level]
+        for check_level in chain:
+            occupancy: dict[tuple[int, int], int] = {}
+            for addr in blocks:
+                cache = self.hierarchy.level_cache(check_level, self.core_id, addr)
+                key = (id(cache), cache.geometry.decode(addr).set_index)
+                occupancy[key] = occupancy.get(key, 0) + 1
+                if occupancy[key] > cache.config.ways:
+                    return False
+        return True
+
+    def _stage_block_op(self, op: BlockOperation, instr: CCInstruction, level: str,
+                        key_data: bytes | None, fetch_latencies: list[int],
+                        partition_load: dict[int, int], batches: dict, verify: list) -> None:
+        """Phase A of one block op: fetch, pin, locate rows, unpin.
+
+        Performs exactly the cache-side work of the sequential path (same
+        fetches, pins, LRU touches, key replication) but defers the
+        sub-array kernel to phase B, recording the located rows.  Ops that
+        cannot batch (lost pins -> RISC, no locality -> near-place) execute
+        immediately, as in the sequential path.
+        """
+        skip_fetch = self._overwrites_dest(instr)
+        attempts = 0
+        while True:
+            attempts += 1
+            lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
+            if not lost:
+                break
+            self.stats.pin_retries += 1
+            if attempts > self.config.cc.pin_retry_limit:
+                self._unpin_all(op, level)
+                self._risc_fallback(op, instr, key_data)
+                return
+        if not self._locality_holds(op, level):
+            try:
+                outcome = self.nearplace.execute(
+                    lambda addr: self.hierarchy.level_cache(level, self.core_id, addr),
+                    op, key_data=key_data,
+                )
+                op.inplace = False
+                op.result_bits = outcome.result_bits
+                op.result_bit_count = outcome.result_bit_count
+                op.status = OpStatus.ISSUED
+            finally:
+                self._unpin_all(op, level)
+            return
+        cache = self.hierarchy.level_cache(level, self.core_id, op.operands[0].addr)
+        try:
+            if instr.key_is_fixed_block:
+                self._replicate_key(op, instr, level, key_data)
+            subarray, rows, located = self._locate_rows(cache, op)
+            partition = cache.geometry.partition_of(op.operands[0].addr)
+            partition_load[partition] = partition_load.get(partition, 0) + 1
+        finally:
+            self._unpin_all(op, level)
+        group = (id(cache), partition)
+        batches.setdefault(group, [cache, subarray, partition, []])[3].append((op, rows))
+        verify.append((op, cache, located, group))
+
+    def _locate_rows(self, cache, op: BlockOperation):
+        """Sub-array rows of one locality-satisfying block op.
+
+        Returns ``(subarray, (row_a, row_b, row_dest), located)`` where the
+        unused row slots are ``None`` and ``located`` lists the
+        ``(addr, row)`` pairs for phase-B re-verification.
+        """
+        subop = op.subarray_op
+        locs = [cache.locate(o.addr) for o in op.operands]
+        subarray = locs[0][0]
+        located = [(o.addr, loc[1]) for o, loc in zip(op.operands, locs)]
+        sources = [loc[1] for o, loc in zip(op.operands, locs) if not o.is_dest]
+        dest_row = next(
+            (loc[1] for o, loc in zip(op.operands, locs) if o.is_dest), None
+        )
+        if subop in ("and", "or", "xor"):
+            triple = (sources[0], sources[1], dest_row)
+        elif subop in ("not", "copy"):
+            triple = (sources[0], None, dest_row)
+        elif subop == "buz":
+            triple = (dest_row, None, dest_row)
+        elif subop == "cmp":
+            triple = (sources[0], sources[1], None)
+        elif subop == "search":
+            triple = (sources[0], cache.geometry.key_row, None)
+        elif subop == "clmul":
+            row_b = sources[1] if len(sources) > 1 else cache.geometry.key_row
+            triple = (sources[0], row_b, None)
+        else:
+            raise ReproError(f"no batched dispatch for {subop!r}")
+        return subarray, triple, located
+
+    def _row_intact(self, cache, addr: int, row: int) -> bool:
+        """Uncounted check that a block still occupies its located row."""
+        parts = cache.geometry.decode(addr)
+        way = cache.tags.probe(parts.set_index, parts.tag)
+        return way is not None and cache.geometry.row_of(parts.set_index, way) == row
+
+    def _drain_batches(self, instr: CCInstruction, level: str, key_data: bytes | None,
+                       batches: dict, verify: list, fetch_latencies: list[int],
+                       partition_load: dict[int, int]) -> None:
+        """Phase B: verify located rows, then one kernel call per sub-array.
+
+        ``_batchable`` guarantees no phase-A fetch can displace a located
+        block, so verification is a pure backstop; any op whose rows did
+        move is pulled out of its batch and re-executed sequentially.
+        """
+        while True:
+            moved = [
+                item for item in verify
+                if not all(self._row_intact(item[1], addr, row) for addr, row in item[2])
+            ]
+            if not moved:
+                break
+            for item in moved:
+                verify.remove(item)
+                op, _cache, _located, group = item
+                entry = batches[group]
+                entry[3] = [(o, r) for o, r in entry[3] if o is not op]
+                partition_load[entry[2]] -= 1
+                if not partition_load[entry[2]]:
+                    del partition_load[entry[2]]
+                self._run_block_op(op, instr, level, key_data, False,
+                                   fetch_latencies, partition_load)
+        for cache, subarray, partition, items in batches.values():
+            if items:
+                self.inplace.execute_batch(cache, subarray, partition, items)
 
     def _prepare_and_pin(self, op: BlockOperation, level: str, skip_fetch: bool,
                          fetch_latencies: list[int]) -> bool:

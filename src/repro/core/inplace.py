@@ -20,7 +20,7 @@ from ..cache.cache import CacheLevel
 from ..energy.mcpat import charge_cc_op
 from ..errors import OperandLocalityError, ReproError
 from ..params import BLOCK_SIZE
-from .operation_table import BlockOperation
+from .operation_table import BlockOperation, OpStatus
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,47 @@ class InPlaceExecutor:
         level.stats.cc_inplace_ops += 1
         self.ops_executed += 1
         return outcome
+
+    def execute_batch(self, level: CacheLevel, subarray, partition: int,
+                      items: list[tuple[BlockOperation, tuple]]) -> None:
+        """Run one sub-array's worth of simple vector operations at once.
+
+        ``items`` pairs each :class:`BlockOperation` with its located
+        ``(row_a, row_b, row_dest)`` triple (unused slots ``None``).  The
+        whole group is a single :meth:`ComputeSubarray.op_batch` call - one
+        vectorized kernel under the packed backend, the per-row circuit ops
+        under bit-exact - with per-op accounting identical to issuing the
+        operations through :meth:`execute` one at a time.
+        """
+        if not items:
+            return
+        subop = items[0][0].subarray_op
+        lane_bits = items[0][0].lane_bits
+        rows_a = [rows[0] for _, rows in items]
+        rows_b = [rows[1] for _, rows in items] if items[0][1][1] is not None else None
+        rows_dest = [rows[2] for _, rows in items] if items[0][1][2] is not None else None
+        results = subarray.op_batch(
+            subop, rows_a, rows_b, rows_dest,
+            key_bytes=BLOCK_SIZE, lane_bits=lane_bits,
+        )
+        charge_op = "cmp" if subop == "search" else subop
+        for (op, _rows), result in zip(items, results):
+            if subop == "cmp":
+                op.result_bits, op.result_bit_count = result, BLOCK_SIZE // 8
+            elif subop == "search":
+                op.result_bits, op.result_bit_count = result & 1, 1
+            elif subop == "clmul":
+                lanes = (BLOCK_SIZE * 8) // (lane_bits or 64)
+                bits = int.from_bytes(result, "little") & ((1 << lanes) - 1)
+                op.result_bits, op.result_bit_count = bits, lanes
+            else:
+                op.result_bits, op.result_bit_count = 0, 0
+            op.partition = partition
+            op.inplace = True
+            op.status = OpStatus.ISSUED
+            charge_cc_op(level.ledger, level.name, charge_op)
+            level.stats.cc_inplace_ops += 1
+            self.ops_executed += 1
 
     # -- per-op handlers ----------------------------------------------------------
 

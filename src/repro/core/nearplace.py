@@ -19,9 +19,12 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..bitops import bytes_and, bytes_not, bytes_or, bytes_xor
 from ..cache.cache import CacheLevel
 from ..errors import ReproError
+from ..kernels import clmul_mask, equality_mask
 from ..params import BLOCK_SIZE
 from .operation_table import BlockOperation
 
@@ -152,22 +155,26 @@ class NearPlaceUnit:
 
     @staticmethod
     def _cmp_words(a: bytes, b: bytes, word_bytes: int = 8) -> tuple[int, int]:
-        mask = 0
+        """Per-word equality mask of two blocks (word 0 -> bit 0)."""
         words = len(a) // word_bytes
-        for i in range(words):
-            if a[i * word_bytes : (i + 1) * word_bytes] == b[i * word_bytes : (i + 1) * word_bytes]:
-                mask |= 1 << i
-        return mask, words
+        if not words:
+            return 0, 0
+        mask = equality_mask(
+            np.frombuffer(a, dtype=np.uint8),
+            np.frombuffer(b, dtype=np.uint8),
+            word_bytes,
+        )
+        return int(mask[0]), words
 
     @staticmethod
     def _clmul(a: bytes, b: bytes, lane_bits: int) -> tuple[int, int]:
-        anded = bytes_and(a, b)
-        lane_bytes = lane_bits // 8
-        lanes = len(anded) // lane_bytes
-        mask = 0
-        for i in range(lanes):
-            lane = anded[i * lane_bytes : (i + 1) * lane_bytes]
-            ones = sum(bin(byte).count("1") for byte in lane)
-            if ones & 1:
-                mask |= 1 << i
-        return mask, lanes
+        """Per-lane parity of ``a & b`` (lane 0 -> bit 0)."""
+        lanes = (len(a) * 8) // lane_bits
+        if not lanes:
+            return 0, 0
+        mask = clmul_mask(
+            np.frombuffer(a, dtype=np.uint8),
+            np.frombuffer(b, dtype=np.uint8),
+            lane_bits,
+        )
+        return int(mask[0]), lanes

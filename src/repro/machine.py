@@ -31,11 +31,21 @@ from .params import MachineConfig, sandybridge_8core
 
 
 class ComputeCacheMachine:
-    """A complete simulated machine with Compute Cache support."""
+    """A complete simulated machine with Compute Cache support.
+
+    ``backend`` (``"packed"`` or ``"bitexact"``) overrides the execution
+    backend of ``config`` for this machine; ``None`` keeps the config's
+    choice (``MachineConfig.backend``, default ``"packed"``).
+    """
 
     def __init__(self, config: MachineConfig | None = None,
-                 wordline_underdrive: bool = True) -> None:
+                 wordline_underdrive: bool = True,
+                 backend: str | None = None) -> None:
+        from dataclasses import replace
+
         self.config = config or sandybridge_8core()
+        if backend is not None and backend != self.config.backend:
+            self.config = replace(self.config, backend=backend)
         self.ledger = EnergyLedger()
         self.hierarchy = CacheHierarchy(
             self.config, self.ledger, wordline_underdrive=wordline_underdrive

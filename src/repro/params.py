@@ -203,9 +203,21 @@ class ComputeCacheConfig:
     bus in the H-tree is not replicated, Section IV-D)."""
 
 
+BACKENDS = ("bitexact", "packed")
+"""Valid sub-array execution backends (see :mod:`repro.sram.subarray`)."""
+
+
 @dataclass(frozen=True)
 class MachineConfig:
-    """Complete machine description (Table IV defaults)."""
+    """Complete machine description (Table IV defaults).
+
+    ``backend`` selects the functional execution backend for every compute
+    sub-array in the machine: ``"packed"`` (the default) runs vectorized
+    numpy kernels over packed bytes, ``"bitexact"`` simulates the bit-level
+    circuits.  The two are bit-for-bit equivalent (results, statistics, and
+    energy) - enforced by the differential-equivalence harness - so
+    ``bitexact`` is only needed for circuit-level experiments.
+    """
 
     cores: int = 8
     core: CoreConfig = field(default_factory=CoreConfig)
@@ -240,12 +252,17 @@ class MachineConfig:
     cc: ComputeCacheConfig = field(default_factory=ComputeCacheConfig)
     memory_size: int = 64 * 1024 * 1024
     static_power_uncore_mw: float = 1400.0
+    backend: str = "packed"
 
     def __post_init__(self) -> None:
         if self.memory_size % PAGE_SIZE:
             raise ConfigError("memory_size must be a multiple of the page size")
         if self.l3_slices != self.ring.stops:
             raise ConfigError("one ring stop per L3 slice is assumed")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
 
     @property
     def l3_total_size(self) -> int:

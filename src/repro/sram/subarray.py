@@ -22,6 +22,26 @@ Supported in-place operations (all bit-exact):
 ``search``     ``cmp`` against a key previously written to a row
 ``clmul``      AND of two rows, XOR-reduction tree per lane
 =============  =====================================================
+
+Execution backends
+------------------
+
+Each sub-array runs one of two functional backends, selected at
+construction (machine-wide via ``MachineConfig.backend``):
+
+* ``"bitexact"`` - the circuit model above: bytes expand to per-bit bool
+  arrays, word-lines activate, sense amps resolve rails.  Required for
+  circuit-level experiments (disturb injection, sense/decoder counters);
+  automatically forced when ``wordline_underdrive=False`` because the
+  write-disturb physics only exists in the bit-level model.
+* ``"packed"`` - vectorized numpy kernels over packed ``uint8`` rows
+  (:mod:`repro.kernels`); no bit unpacking anywhere.  Proven bit-exact
+  against the circuit model by the differential-equivalence harness.
+
+Both backends drive the same :class:`SubarrayStats` and Table-V/VI-C
+energy/delay accounting, so results, statistics, and energy totals are
+backend-invariant.  Circuit diagnostics (sense-amp reconfiguration and
+decoder counts) are only meaningful under ``bitexact``.
 """
 
 from __future__ import annotations
@@ -31,11 +51,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bitops import bits_to_bytes, bytes_to_bits, word_equality_mask, xor_reduce_lanes
-from ..errors import AddressError, ISAError
+from ..errors import AddressError, ConfigError, ISAError
+from ..kernels import PackedCellArray, clmul_mask, equality_mask, logical_rows, pack_flags
 from .bitcell import BitCellArray
 from .decoder import DualRowDecoder
 from .sense_amp import SenseAmpColumn, SenseMode
 from .timing import SubarrayTiming
+
+BACKEND_BITEXACT = "bitexact"
+BACKEND_PACKED = "packed"
+BACKENDS = (BACKEND_BITEXACT, BACKEND_PACKED)
 
 
 class SubarrayOp:
@@ -95,23 +120,45 @@ class ComputeSubarray:
         timing: SubarrayTiming | None = None,
         max_activated: int = 64,
         wordline_underdrive: bool = True,
+        backend: str = BACKEND_BITEXACT,
     ) -> None:
         if cols % 8:
             raise AddressError(f"sub-array width {cols} is not a whole number of bytes")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown sub-array backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if backend == BACKEND_PACKED and not wordline_underdrive:
+            # Write-disturb physics only exists in the bit-level circuit
+            # model; a full-swing experiment silently falls back to it.
+            backend = BACKEND_BITEXACT
         self.rows = rows
         self.cols = cols
-        self.cells = BitCellArray(
-            rows, cols, max_activated=max_activated, wordline_underdrive=wordline_underdrive
-        )
+        self.backend = backend
+        if backend == BACKEND_PACKED:
+            self.cells: PackedCellArray | BitCellArray = PackedCellArray(rows, cols)
+        else:
+            self.cells = BitCellArray(
+                rows, cols, max_activated=max_activated,
+                wordline_underdrive=wordline_underdrive,
+            )
         self.decoder = DualRowDecoder(rows)
         self.sense = SenseAmpColumn(cols)
         self.timing = timing or SubarrayTiming()
         self.stats = SubarrayStats()
 
+    @property
+    def is_packed(self) -> bool:
+        return self.backend == BACKEND_PACKED
+
     # -- conventional access ------------------------------------------------
 
     def read_block(self, row: int) -> bytes:
         """Conventional differential read of one row (one cache block)."""
+        if self.is_packed:
+            data = self.cells.read_row_bytes(row)
+            self._account(SubarrayOp.READ)
+            return data
         wl = self.decoder.decode(row)
         self.sense.configure(SenseMode.DIFFERENTIAL)
         bl, blb = self.cells.activate(wl)
@@ -121,11 +168,15 @@ class ComputeSubarray:
 
     def write_block(self, row: int, data: bytes) -> None:
         """Conventional write of one row."""
-        bits = bytes_to_bits(data)
-        if bits.size != self.cols:
+        if len(data) * 8 != self.cols:
             raise AddressError(
                 f"block of {len(data)} bytes does not fill a {self.cols}-bit row"
             )
+        if self.is_packed:
+            self.cells.write_row_bytes(row, data)
+            self._account(SubarrayOp.WRITE)
+            return
+        bits = bytes_to_bits(data)
         self.decoder.decode(row)
         self.cells.write_row(row, bits)
         self._account(SubarrayOp.WRITE)
@@ -139,26 +190,47 @@ class ComputeSubarray:
         bl, blb = self.cells.activate(wl)
         return self.sense.sense_single_ended(bl, blb)
 
+    def _packed_rows(self, *rows: int) -> list[np.ndarray]:
+        for row in rows:
+            self.cells._check_row(row)
+        return [self.cells.row(row) for row in rows]
+
     def op_and(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
         """In-place AND of two rows; optionally written back to ``dest``."""
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.AND)
+            return self._finish_packed(a & b, dest)
         and_bits, _ = self._compute_sense(row_a, row_b)
         self._account(SubarrayOp.AND)
         return self._finish(and_bits, dest)
 
     def op_nor(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
         """In-place NOR of two rows (sensed on bit-line-bar)."""
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.NOR)
+            return self._finish_packed(~(a | b), dest)
         _, nor_bits = self._compute_sense(row_a, row_b)
         self._account(SubarrayOp.NOR)
         return self._finish(nor_bits, dest)
 
     def op_or(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
         """In-place OR: complement of the NOR sense result."""
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.OR)
+            return self._finish_packed(a | b, dest)
         _, nor_bits = self._compute_sense(row_a, row_b)
         self._account(SubarrayOp.OR)
         return self._finish(~nor_bits, dest)
 
     def op_xor(self, row_a: int, row_b: int, dest: int | None = None) -> bytes:
         """In-place XOR: NOR of the BL (AND) and BLB (NOR) sense results."""
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.XOR)
+            return self._finish_packed(a ^ b, dest)
         and_bits, nor_bits = self._compute_sense(row_a, row_b)
         xor_bits = ~(and_bits | nor_bits)
         self._account(SubarrayOp.XOR)
@@ -166,6 +238,10 @@ class ComputeSubarray:
 
     def op_not(self, row: int, dest: int | None = None) -> bytes:
         """Complement of one row, via BLB sensing of a single activation."""
+        if self.is_packed:
+            (a,) = self._packed_rows(row)
+            self._account(SubarrayOp.NOT)
+            return self._finish_packed(~a, dest)
         wl = self.decoder.decode(row)
         self.sense.configure(SenseMode.SINGLE_ENDED)
         bl, blb = self.cells.activate(wl)
@@ -180,6 +256,10 @@ class ComputeSubarray:
         bit-lines, and the destination word-line is write-enabled.  The data
         never leaves the sub-array.
         """
+        if self.is_packed:
+            (a,) = self._packed_rows(src)
+            self._account(SubarrayOp.COPY)
+            return self._finish_packed(a.copy(), dest)
         wl = self.decoder.decode(src)
         self.sense.configure(SenseMode.DIFFERENTIAL)
         bl, blb = self.cells.activate(wl)
@@ -191,6 +271,11 @@ class ComputeSubarray:
 
     def op_buz(self, dest: int) -> None:
         """In-place zeroing: reset the data latch, then write (cc_buz)."""
+        if self.is_packed:
+            self.cells._check_row(dest)
+            self.cells.row(dest)[:] = 0
+            self._account(SubarrayOp.BUZ)
+            return
         self.sense.reset_latch()
         bits = self.sense.drive_back()
         self.decoder.decode(dest)
@@ -203,6 +288,10 @@ class ComputeSubarray:
         The per-bit XOR results are combined per word with a wired-NOR;
         returns a mask with bit *i* set iff word *i* of the two rows match.
         """
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.CMP)
+            return int(equality_mask(a, b, word_bits // 8)[0])
         and_bits, nor_bits = self._compute_sense(row_a, row_b)
         xor_bits = ~(and_bits | nor_bits)
         self._account(SubarrayOp.CMP)
@@ -215,6 +304,10 @@ class ComputeSubarray:
         reported at key granularity: bit *i* of the result is set iff the
         *i*-th key-sized chunk of the data row equals the key.
         """
+        if self.is_packed:
+            a, b = self._packed_rows(data_row, key_row)
+            self._account(SubarrayOp.SEARCH)
+            return int(equality_mask(a, b, key_bytes)[0])
         and_bits, nor_bits = self._compute_sense(data_row, key_row)
         xor_bits = ~(and_bits | nor_bits)
         self._account(SubarrayOp.SEARCH)
@@ -229,14 +322,114 @@ class ComputeSubarray:
         """
         if lane_bits not in (64, 128, 256):
             raise ISAError(f"cc_clmul lane width must be 64/128/256, got {lane_bits}")
+        n_lanes = self.cols // lane_bits
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.CLMUL)
+            mask = int(clmul_mask(a, b, lane_bits)[0])
+            return mask.to_bytes((n_lanes + 7) // 8, "little")
         and_bits, _ = self._compute_sense(row_a, row_b)
         lanes = xor_reduce_lanes(and_bits, lane_bits)
         self._account(SubarrayOp.CLMUL)
-        mask = 0
-        for i, bit in enumerate(lanes):
-            if bit:
-                mask |= 1 << i
+        mask = int(pack_flags(lanes)[0])
         return mask.to_bytes((lanes.size + 7) // 8, "little")
+
+    # -- batched compute (one kernel call across many rows) ------------------
+
+    def op_batch(
+        self,
+        op: str,
+        rows_a: list[int],
+        rows_b: list[int] | None = None,
+        rows_dest: list[int] | None = None,
+        word_bits: int = 64,
+        key_bytes: int = 64,
+        lane_bits: int | None = None,
+    ) -> list:
+        """Issue one operation over many row tuples of this sub-array.
+
+        Under the packed backend the whole batch is one vectorized kernel
+        call (gather packed rows, compute, scatter); under the bit-exact
+        backend it degenerates to the per-row circuit operations.  Either
+        way the per-operation accounting (:class:`SubarrayStats`, Table-V
+        energy) is identical to issuing the rows one at a time, so timing
+        and energy are batch- and backend-invariant.
+
+        Returns a list with one entry per row tuple: result ``bytes`` for
+        data-producing ops, ``int`` masks for ``cmp``/``search``, packed
+        ``bytes`` for ``clmul``, and ``None`` for ``buz``.
+        """
+        if not rows_a:
+            return []
+        if not self.is_packed:
+            return [
+                self._one_op(op, i, rows_a, rows_b, rows_dest,
+                             word_bits, key_bytes, lane_bits)
+                for i in range(len(rows_a))
+            ]
+        for row in rows_a:
+            self.cells._check_row(row)
+        for row in rows_b or ():
+            self.cells._check_row(row)
+        for row in rows_dest or ():
+            self.cells._check_row(row)
+
+        a = self.cells.read_rows(rows_a)
+        b = self.cells.read_rows(rows_b) if rows_b is not None else None
+
+        if op in (SubarrayOp.AND, SubarrayOp.OR, SubarrayOp.NOR, SubarrayOp.XOR,
+                  SubarrayOp.NOT, SubarrayOp.COPY, SubarrayOp.BUZ):
+            out = logical_rows(op, a, b)
+            if rows_dest is not None:
+                self.cells.write_rows(rows_dest, out)
+            for _ in rows_a:
+                self._account(op)
+            if op == SubarrayOp.BUZ:
+                return [None] * len(rows_a)
+            return [row.tobytes() for row in out]
+        if op == SubarrayOp.CMP:
+            masks = equality_mask(a, b, word_bits // 8)
+            for _ in rows_a:
+                self._account(op)
+            return [int(m) for m in masks]
+        if op == SubarrayOp.SEARCH:
+            masks = equality_mask(a, b, key_bytes)
+            for _ in rows_a:
+                self._account(op)
+            return [int(m) for m in masks]
+        if op == SubarrayOp.CLMUL:
+            if lane_bits not in (64, 128, 256):
+                raise ISAError(f"cc_clmul lane width must be 64/128/256, got {lane_bits}")
+            masks = clmul_mask(a, b, lane_bits)
+            nbytes = (self.cols // lane_bits + 7) // 8
+            for _ in rows_a:
+                self._account(op)
+            return [int(m).to_bytes(nbytes, "little") for m in masks]
+        raise ISAError(f"unknown batched sub-array operation {op!r}")
+
+    def _one_op(self, op: str, i: int, rows_a, rows_b, rows_dest,
+                word_bits: int, key_bytes: int, lane_bits: int | None):
+        """One batch element via the per-row entry points (circuit path)."""
+        a = rows_a[i]
+        b = rows_b[i] if rows_b is not None else None
+        dest = rows_dest[i] if rows_dest is not None else None
+        if op in (SubarrayOp.AND, SubarrayOp.OR, SubarrayOp.NOR, SubarrayOp.XOR):
+            method = {SubarrayOp.AND: self.op_and, SubarrayOp.OR: self.op_or,
+                      SubarrayOp.NOR: self.op_nor, SubarrayOp.XOR: self.op_xor}[op]
+            return method(a, b, dest=dest)
+        if op == SubarrayOp.NOT:
+            return self.op_not(a, dest=dest)
+        if op == SubarrayOp.COPY:
+            return self.op_copy(a, dest)
+        if op == SubarrayOp.BUZ:
+            return self.op_buz(dest if dest is not None else a)
+        if op == SubarrayOp.CMP:
+            return self.op_cmp(a, b, word_bits)
+        if op == SubarrayOp.SEARCH:
+            return self.op_search(a, b, key_bytes)
+        if op == SubarrayOp.CLMUL:
+            return self.op_clmul(a, b, lane_bits)
+        raise ISAError(f"unknown batched sub-array operation {op!r}")
 
     # -- helpers ------------------------------------------------------------
 
@@ -246,6 +439,13 @@ class ComputeSubarray:
             self.sense.latch_value(bits)
             self.cells.write_row(dest, self.sense.drive_back())
         return bits_to_bytes(bits)
+
+    def _finish_packed(self, packed: np.ndarray, dest: int | None) -> bytes:
+        """Packed-backend twin of :meth:`_finish`."""
+        if dest is not None:
+            self.cells._check_row(dest)
+            self.cells.data[dest] = packed
+        return packed.tobytes()
 
     def _account(self, op: str) -> None:
         self.stats.record(op, self.timing.op_energy(op), self.timing.op_delay(op))

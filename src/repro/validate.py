@@ -13,7 +13,12 @@ Checks:
    single-writer, directory invariants);
 5. ECC corrects injected single-bit strikes end-to-end through scrubbing;
 6. the energy calibration anchors (Table V constants, Fig 3 proportion
-   regime, in-place < conventional) hold.
+   regime, in-place < conventional) hold;
+7. the packed and bit-exact execution backends agree bit-for-bit (data,
+   result masks, sub-array statistics, energy) on a random CC stream.
+
+``run_validation(backend=...)`` runs the whole battery under a chosen
+execution backend (the differential check always exercises both).
 """
 
 from __future__ import annotations
@@ -26,9 +31,12 @@ import numpy as np
 from . import ComputeCacheMachine, cc_ops
 from .params import small_test_machine
 
+_BACKEND: str | None = None
+"""Backend override for the battery's machines (None = config default)."""
+
 
 def _machine() -> ComputeCacheMachine:
-    return ComputeCacheMachine(small_test_machine())
+    return ComputeCacheMachine(small_test_machine(), backend=_BACKEND)
 
 
 def _rand(rng, n: int) -> bytes:
@@ -155,6 +163,75 @@ def check_energy_anchors() -> None:
     assert 0.5 < frac < 0.9, f"scalar core fraction {frac:.2f} out of regime"
 
 
+def _stats_snapshot(m: ComputeCacheMachine) -> list[tuple]:
+    """Flat, comparable view of every sub-array's statistics."""
+    snap = []
+    h = m.hierarchy
+    for level in (*h.l1, *h.l2, *h.l3):
+        for sub in level.geometry.subarrays:
+            s = sub.stats
+            snap.append((level.name, s.reads, s.writes,
+                         dict(s.compute_ops), s.energy_pj, s.busy_cycles))
+    return snap
+
+
+def check_backend_equivalence() -> None:
+    """Identical random CC streams through both backends must agree
+    bit-for-bit: data, result masks, latencies, per-sub-array statistics,
+    and the machine energy ledger."""
+    rng = np.random.default_rng(6)
+    machines = {}
+    layouts = {}
+    for be in ("bitexact", "packed"):
+        m = ComputeCacheMachine(small_test_machine(), backend=be)
+        a, b, c = m.arena.alloc_colocated(512, 3)
+        key = m.arena.alloc_page_aligned(64)
+        machines[be] = m
+        layouts[be] = (a, b, c, key)
+    # Same random payloads and instruction choices for both machines.
+    payloads = [(_rand(rng, 512), _rand(rng, 512), _rand(rng, 64))
+                for _ in range(4)]
+    choices = rng.integers(0, 9, 40)
+    sizes = rng.choice([64, 128, 256, 448, 512], 40)
+    for be, m in machines.items():
+        a, b, c, key = layouts[be]
+        outcomes = []
+        for i, (choice, size) in enumerate(zip(choices, sizes)):
+            da, db, dk = payloads[i % len(payloads)]
+            if i == 0:
+                m.load(a, da)
+                m.load(b, db)
+                m.load(key, dk)
+            elif i % len(payloads) == 0:
+                m.write(a, da)
+                m.write(b, db)
+                m.write(key, dk)
+            size = int(size)
+            instr = [
+                cc_ops.cc_and(a, b, c, size),
+                cc_ops.cc_or(a, b, c, size),
+                cc_ops.cc_xor(a, b, c, size),
+                cc_ops.cc_not(a, c, size),
+                cc_ops.cc_copy(a, c, size),
+                cc_ops.cc_buz(c, size),
+                cc_ops.cc_cmp(a, b, size),
+                cc_ops.cc_search(a, key, size),
+                cc_ops.cc_clmul(a, b, c, size, lane_bits=64),
+            ][int(choice)]
+            res = m.cc(instr)
+            outcomes.append((res.result, res.result_bytes, res.cycles,
+                             m.peek(c, 512)))
+        layouts[be] = (a, b, c, key, outcomes)
+    bit_out = layouts["bitexact"][4]
+    pk_out = layouts["packed"][4]
+    for i, (bo, po) in enumerate(zip(bit_out, pk_out)):
+        assert bo == po, f"backends diverge at instruction {i}"
+    assert (_stats_snapshot(machines["bitexact"])
+            == _stats_snapshot(machines["packed"])), "sub-array stats diverge"
+    assert machines["bitexact"].ledger.pj == machines["packed"].ledger.pj, \
+        "energy ledgers diverge"
+
+
 CHECKS: list[tuple[str, Callable[[], None]]] = [
     ("functional exactness (all opcodes vs numpy)", check_functional_exactness),
     ("in-place / near-place / RISC agreement", check_execution_paths_agree),
@@ -162,11 +239,19 @@ CHECKS: list[tuple[str, Callable[[], None]]] = [
     ("multi-core coherence interleaving", check_multicore_coherence),
     ("ECC strike -> scrub -> repair", check_ecc_scrubbing),
     ("energy calibration anchors", check_energy_anchors),
+    ("backend equivalence (packed vs bit-exact)", check_backend_equivalence),
 ]
 
 
-def run_validation(verbose: bool = True) -> bool:
-    """Run every check; returns True iff all passed."""
+def run_validation(verbose: bool = True, backend: str | None = None) -> bool:
+    """Run every check; returns True iff all passed.
+
+    ``backend`` forces the battery's machines onto one execution backend
+    (``"packed"`` or ``"bitexact"``); the differential backend-equivalence
+    check always builds both regardless.
+    """
+    global _BACKEND
+    _BACKEND = backend
     all_ok = True
     for name, check in CHECKS:
         try:

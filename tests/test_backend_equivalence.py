@@ -1,0 +1,259 @@
+"""Differential equivalence of the packed and bit-exact backends.
+
+The packed fast-path backend must be *observationally identical* to the
+bit-exact circuit model: same data, same CC-R result masks, same cycle
+counts, same per-sub-array statistics, and same energy - on any
+instruction stream.  Two layers of evidence:
+
+1. a seeded random-stream harness driving full machine pairs through
+   identical CC instruction sequences (the headline differential test);
+2. Hypothesis properties running every CC opcode on both backends with
+   random payloads, odd (non-power-of-two) block counts, misaligned
+   (block- but not page-aligned) starts, and page-spanning ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ComputeCacheMachine, cc_ops
+from repro.core.isa import CLMUL_LANES, CMP_MAX_BYTES, SEARCH_MAX_BYTES
+from repro.params import BLOCK_SIZE, PAGE_SIZE, small_test_machine
+from repro.sram.subarray import BACKENDS
+
+REGION = 2 * PAGE_SIZE  # big enough that offsets can span a page boundary
+
+
+def machine_pair():
+    """Two machines with identical configs and arena layouts, differing
+    only in execution backend."""
+    return {be: ComputeCacheMachine(small_test_machine(), backend=be)
+            for be in BACKENDS}
+
+
+def stats_snapshot(m):
+    """Flat comparable view of every sub-array's statistics."""
+    snap = []
+    h = m.hierarchy
+    for level in (*h.l1, *h.l2, *h.l3):
+        for sub in level.geometry.subarrays:
+            s = sub.stats
+            snap.append((level.name, s.reads, s.writes,
+                         dict(s.compute_ops), s.energy_pj, s.busy_cycles))
+    return snap
+
+
+def outcome(m, res, dest=None, size=0):
+    """Everything observable about one executed instruction."""
+    data = m.peek(dest, size) if dest is not None else b""
+    return (res.result, res.result_bytes, res.cycles, res.pieces,
+            res.level, res.inplace_ops, res.nearplace_ops, res.risc_ops,
+            data)
+
+
+def build_plan(seed, steps=50):
+    """A backend-independent random instruction plan (relative offsets)."""
+    rng = np.random.default_rng(seed)
+    plan = []
+    for _ in range(steps):
+        kind = ["and", "or", "xor", "not", "copy", "buz", "cmp", "search",
+                "clmul", "write"][int(rng.integers(0, 10))]
+        # Block-aligned offsets into a two-page region: often misaligned
+        # relative to the page, sometimes spanning the page boundary.
+        off = int(rng.integers(0, PAGE_SIZE // BLOCK_SIZE)) * BLOCK_SIZE
+        max_blocks = (REGION - off) // BLOCK_SIZE
+        blocks = int(rng.integers(1, min(max_blocks, 24) + 1))
+        size = blocks * BLOCK_SIZE
+        if kind == "cmp":
+            size = min(size, CMP_MAX_BYTES)
+        elif kind == "search":
+            size = min(size, SEARCH_MAX_BYTES)
+        plan.append({
+            "kind": kind,
+            "off": off,
+            "size": size,
+            "lane_bits": int(rng.choice(CLMUL_LANES)),
+            "data": rng.integers(0, 256, 512, dtype=np.uint8).tobytes(),
+        })
+    return plan
+
+
+def run_plan(m, plan):
+    """Execute a plan on one machine; returns (outcomes, buffer bases)."""
+    a, b, c = m.arena.alloc_colocated(REGION, 3)
+    key = m.arena.alloc_page_aligned(BLOCK_SIZE)
+    rng = np.random.default_rng(99)  # same payload stream for both machines
+    m.load(a, rng.integers(0, 256, REGION, dtype=np.uint8).tobytes())
+    m.load(b, rng.integers(0, 256, REGION, dtype=np.uint8).tobytes())
+    m.load(key, rng.integers(0, 256, BLOCK_SIZE, dtype=np.uint8).tobytes())
+    outcomes = []
+    for step in plan:
+        kind, off, size = step["kind"], step["off"], step["size"]
+        sa, sb, sc = a + off, b + off, c + off
+        if kind == "write":
+            m.write(sa, step["data"][:BLOCK_SIZE])
+            outcomes.append(("write", m.peek(sa, BLOCK_SIZE)))
+            continue
+        instr = {
+            "and": lambda: cc_ops.cc_and(sa, sb, sc, size),
+            "or": lambda: cc_ops.cc_or(sa, sb, sc, size),
+            "xor": lambda: cc_ops.cc_xor(sa, sb, sc, size),
+            "not": lambda: cc_ops.cc_not(sa, sc, size),
+            "copy": lambda: cc_ops.cc_copy(sa, sc, size),
+            "buz": lambda: cc_ops.cc_buz(sc, size),
+            "cmp": lambda: cc_ops.cc_cmp(sa, sb, size),
+            "search": lambda: cc_ops.cc_search(sa, key, size),
+            "clmul": lambda: cc_ops.cc_clmul(sa, sb, sc, size,
+                                             lane_bits=step["lane_bits"]),
+        }[kind]()
+        res = m.cc(instr)
+        dest = None if kind in ("cmp", "search") else sc
+        outcomes.append(outcome(m, res, dest, size))
+    return outcomes, (a, b, c)
+
+
+class TestDifferentialStream:
+    """The headline harness: identical random streams, bit-exact agreement."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_streams_agree(self, seed):
+        plan = build_plan(seed)
+        machines = machine_pair()
+        results = {be: run_plan(m, plan)[0] for be, m in machines.items()}
+        for i, (bo, po) in enumerate(zip(results["bitexact"],
+                                         results["packed"])):
+            assert bo == po, f"seed {seed}: backends diverge at step {i}"
+        assert (stats_snapshot(machines["bitexact"])
+                == stats_snapshot(machines["packed"]))
+        assert (machines["bitexact"].ledger.pj
+                == machines["packed"].ledger.pj)
+
+    def test_final_memory_images_agree(self):
+        plan = build_plan(7, steps=30)
+        machines = machine_pair()
+        images = {}
+        for be, m in machines.items():
+            _, bufs = run_plan(m, plan)
+            images[be] = b"".join(m.peek(base, REGION) for base in bufs)
+        assert images["bitexact"] == images["packed"]
+
+
+# -- Hypothesis per-opcode properties -----------------------------------------
+
+# Fresh machine pairs per example are the dominant cost; cap examples so
+# the property battery stays inside the tier-1 budget.
+PROP_SETTINGS = settings(max_examples=15, deadline=None,
+                         suppress_health_check=[HealthCheck.too_slow])
+
+offsets_st = st.integers(0, PAGE_SIZE // BLOCK_SIZE - 1).map(
+    lambda blk: blk * BLOCK_SIZE)
+blocks_st = st.integers(1, 9)  # odd counts (3, 5, 7...) included
+payload_st = st.integers(0, 2**32 - 1)  # seed for payloads
+
+
+def _payload(seed, n):
+    return np.random.default_rng(seed).integers(
+        0, 256, n, dtype=np.uint8).tobytes()
+
+
+def _pair_with_data(seed):
+    machines = machine_pair()
+    layout = {}
+    for be, m in machines.items():
+        a, b, c = m.arena.alloc_colocated(REGION, 3)
+        key = m.arena.alloc_page_aligned(BLOCK_SIZE)
+        m.load(a, _payload(seed, REGION))
+        m.load(b, _payload(seed + 1, REGION))
+        m.load(key, _payload(seed, REGION)[:BLOCK_SIZE])
+        layout[be] = (a, b, c, key)
+    assert layout["bitexact"] == layout["packed"]
+    return machines, layout
+
+
+class TestOpcodeProperties:
+    @PROP_SETTINGS
+    @given(op=st.sampled_from(["and", "or", "xor", "not", "copy", "buz"]),
+           off=offsets_st, blocks=blocks_st, seed=payload_st)
+    def test_logical_ops(self, op, off, blocks, seed):
+        size = blocks * BLOCK_SIZE
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            instr = {
+                "and": lambda: cc_ops.cc_and(a + off, b + off, c + off, size),
+                "or": lambda: cc_ops.cc_or(a + off, b + off, c + off, size),
+                "xor": lambda: cc_ops.cc_xor(a + off, b + off, c + off, size),
+                "not": lambda: cc_ops.cc_not(a + off, c + off, size),
+                "copy": lambda: cc_ops.cc_copy(a + off, c + off, size),
+                "buz": lambda: cc_ops.cc_buz(c + off, size),
+            }[op]()
+            res = m.cc(instr)
+            out[be] = outcome(m, res, c + off, size)
+        assert out["bitexact"] == out["packed"]
+
+    @PROP_SETTINGS
+    @given(off=offsets_st, blocks=st.integers(1, 8), seed=payload_st,
+           equal_prefix=st.integers(0, 8))
+    def test_cmp(self, off, blocks, seed, equal_prefix):
+        size = min(blocks * BLOCK_SIZE, CMP_MAX_BYTES)
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            if equal_prefix:  # force some equal words so the mask is mixed
+                m.cc(cc_ops.cc_copy(a + off, b + off,
+                                    min(equal_prefix * BLOCK_SIZE,
+                                        REGION - off)))
+            res = m.cc(cc_ops.cc_cmp(a + off, b + off, size))
+            out[be] = outcome(m, res)
+        assert out["bitexact"] == out["packed"]
+
+    @PROP_SETTINGS
+    @given(off=offsets_st, blocks=st.integers(1, 16), seed=payload_st,
+           plant=st.booleans())
+    def test_search(self, off, blocks, seed, plant):
+        size = min(blocks * BLOCK_SIZE, SEARCH_MAX_BYTES)
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, key = layout[be]
+            if plant:  # guarantee at least one hit
+                m.cc(cc_ops.cc_copy(key, a + off, BLOCK_SIZE))
+            res = m.cc(cc_ops.cc_search(a + off, key, size))
+            out[be] = outcome(m, res)
+        assert out["bitexact"] == out["packed"]
+
+    @PROP_SETTINGS
+    @given(off=offsets_st, blocks=blocks_st, seed=payload_st,
+           lane_bits=st.sampled_from(CLMUL_LANES))
+    def test_clmul(self, off, blocks, seed, lane_bits):
+        size = blocks * BLOCK_SIZE
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            res = m.cc(cc_ops.cc_clmul(a + off, b + off, c + off, size,
+                                       lane_bits=lane_bits))
+            out[be] = outcome(m, res)
+        assert out["bitexact"] == out["packed"]
+
+    @PROP_SETTINGS
+    @given(blocks=st.integers(1, 16), seed=payload_st)
+    def test_page_spanning(self, blocks, seed):
+        """Operands starting one block before a page boundary must split
+        into pieces and still agree across backends."""
+        off = PAGE_SIZE - BLOCK_SIZE
+        size = blocks * BLOCK_SIZE
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            res = m.cc(cc_ops.cc_xor(a + off, b + off, c + off, size))
+            if blocks > 1:
+                assert res.pieces >= 2
+            out[be] = outcome(m, res, c + off, size)
+        assert out["bitexact"] == out["packed"]

@@ -60,6 +60,39 @@ class TestWordEqualityMask:
         with pytest.raises(AddressError):
             word_equality_mask(np.zeros(100, dtype=bool))
 
+    def test_empty_input_is_zero(self):
+        assert word_equality_mask(np.zeros(0, dtype=bool)) == 0
+
+    def test_bit_order_word0_is_bit0(self):
+        """Regression: the mask is little-endian in words - the
+        lowest-addressed word (word 0) occupies bit 0, not bit 63."""
+        xor = np.ones(512, dtype=bool)
+        xor[:64] = False  # only word 0 equal
+        assert word_equality_mask(xor) == 0b1
+        xor = np.ones(512, dtype=bool)
+        xor[7 * 64 :] = False  # only the last word equal
+        assert word_equality_mask(xor) == 0b1000_0000
+
+    def test_bit_order_full_register(self):
+        """64 words fill the 64-bit result register; word 63 -> bit 63."""
+        xor = np.ones(64 * 64, dtype=bool)
+        xor[63 * 64 :] = False
+        assert word_equality_mask(xor) == 1 << 63
+
+    def test_narrow_words(self):
+        xor = np.zeros(64, dtype=bool)
+        xor[3 * 8] = True  # 8-bit words: word 3 differs
+        assert word_equality_mask(xor, word_bits=8) == 0xFF & ~(1 << 3)
+
+    @given(st.binary(min_size=512, max_size=512),
+           st.binary(min_size=512, max_size=512))
+    def test_matches_python_reference(self, a, b):
+        xor = bytes_to_bits(bytes_xor(a, b))
+        mask = word_equality_mask(xor)
+        for i in range(64):
+            word_equal = a[i * 8 : (i + 1) * 8] == b[i * 8 : (i + 1) * 8]
+            assert bool(mask & (1 << i)) == word_equal
+
     @given(st.lists(st.booleans(), min_size=8, max_size=8))
     def test_mask_matches_per_word(self, mismatches):
         xor = np.zeros(512, dtype=bool)
@@ -113,6 +146,19 @@ class TestByteWiseOps:
     def test_length_mismatch(self):
         with pytest.raises(AddressError):
             bytes_xor(b"\x00", b"\x00\x00")
+
+    def test_zero_length_inputs(self):
+        """Regression: every byte-wise op returns ``b""`` (the immutable
+        bytes type, not a bytearray or numpy scalar) on empty input."""
+        for fn in (bytes_xor, bytes_and, bytes_or):
+            out = fn(b"", b"")
+            assert out == b"" and type(out) is bytes
+        out = bytes_not(b"")
+        assert out == b"" and type(out) is bytes
+
+    def test_zero_length_mismatch_still_rejected(self):
+        with pytest.raises(AddressError):
+            bytes_xor(b"", b"\x00")
 
 
 class TestParityPopcount:

@@ -21,7 +21,8 @@ class TestValidationBattery:
 
     def test_check_inventory(self):
         names = [name for name, _ in CHECKS]
-        assert len(names) == len(set(names)) == 6
+        assert len(names) == len(set(names)) == 7
+        assert "backend equivalence (packed vs bit-exact)" in names
 
     def test_cli_validate(self, capsys):
         from repro.cli import main
