@@ -53,15 +53,20 @@ class CacheLevel:
         mshr_capacity: int = 16,
         wordline_underdrive: bool = True,
         backend: str = "bitexact",
+        tracer=None,
+        unit: int = 0,
     ) -> None:
         self.config = config
         self.name = config.name
         self.ledger = ledger
+        self.tracer = tracer
+        self.unit = unit
         self.tags = SetAssociativeArray(config)
         self.geometry = CacheGeometry(
             config, wordline_underdrive=wordline_underdrive, backend=backend
         )
-        self.htree = HTree(config.name, commands_per_cycle=commands_per_cycle)
+        self.htree = HTree(config.name, commands_per_cycle=commands_per_cycle,
+                           tracer=tracer, unit=unit)
         self.mshrs = MSHRFile(capacity=mshr_capacity)
         self.stats = CacheLevelStats()
 
@@ -75,7 +80,11 @@ class CacheLevel:
     def lookup(self, addr: int) -> int | None:
         """Tag lookup (counted); returns the way or None."""
         parts = self._parts(addr)
-        return self.tags.lookup(parts.set_index, parts.tag)
+        way = self.tags.lookup(parts.set_index, parts.tag)
+        if self.tracer is not None:
+            self.tracer.emit("cache.lookup", level=self.name, unit=self.unit,
+                             addr=addr, outcome="hit" if way is not None else "miss")
+        return way
 
     def probe(self, addr: int) -> int | None:
         """Uncounted presence check (coherence probes, CC level selection)."""
@@ -110,6 +119,9 @@ class CacheLevel:
         self.tags.touch(parts.set_index, way)
         self.stats.reads += 1
         self.htree.record_transfer()
+        if self.tracer is not None:
+            self.tracer.emit("cache.read", level=self.name, unit=self.unit,
+                             addr=addr)
         if charge:
             charge_cache_read(self.ledger, self.name)
         return self.geometry.read_data(addr, way)
@@ -126,6 +138,9 @@ class CacheLevel:
         self.tags.touch(parts.set_index, way)
         self.stats.writes += 1
         self.htree.record_transfer()
+        if self.tracer is not None:
+            self.tracer.emit("cache.write", level=self.name, unit=self.unit,
+                             addr=addr)
         if charge:
             charge_cache_write(self.ledger, self.name)
         self.geometry.write_data(addr, way, data)
@@ -151,9 +166,15 @@ class CacheLevel:
             )
             if eviction.dirty:
                 self.stats.writebacks_out += 1
+                if self.tracer is not None:
+                    self.tracer.emit("cache.writeback", level=self.name,
+                                     unit=self.unit, addr=victim_addr)
         self.tags.install(parts.set_index, way, parts.tag, state)
         self.geometry.write_data(addr, way, data)
         self.stats.fills += 1
+        if self.tracer is not None:
+            self.tracer.emit("cache.fill", level=self.name, unit=self.unit,
+                             addr=addr)
         charge_cache_write(self.ledger, self.name)
         return eviction
 

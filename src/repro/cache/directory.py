@@ -29,8 +29,10 @@ class DirectoryEntry:
 class Directory:
     """Sharer/owner tracking for the blocks homed at one slice."""
 
-    def __init__(self) -> None:
+    def __init__(self, slice_id: int = 0, tracer=None) -> None:
         self._entries: dict[int, DirectoryEntry] = {}
+        self.slice_id = slice_id
+        self.tracer = tracer
 
     def entry(self, block_addr: int) -> DirectoryEntry:
         return self._entries.setdefault(block_addr, DirectoryEntry())
@@ -45,11 +47,17 @@ class Directory:
             raise CoherenceError(
                 f"block {block_addr:#x}: adding sharer {core} while owned by {e.owner}"
             )
+        if self.tracer is not None:
+            self.tracer.emit("dir.grant", core=core, unit=self.slice_id,
+                             addr=block_addr, outcome="sharer")
 
     def set_owner(self, block_addr: int, core: int) -> None:
         e = self.entry(block_addr)
         e.sharers = {core}
         e.owner = core
+        if self.tracer is not None:
+            self.tracer.emit("dir.grant", core=core, unit=self.slice_id,
+                             addr=block_addr, outcome="owner")
 
     def clear_owner(self, block_addr: int) -> None:
         e = self.entry(block_addr)
@@ -62,11 +70,16 @@ class Directory:
         e.sharers.discard(core)
         if e.owner == core:
             e.owner = None
+        if self.tracer is not None:
+            self.tracer.emit("dir.revoke", core=core, unit=self.slice_id,
+                             addr=block_addr)
         if not e.sharers:
             del self._entries[block_addr]
 
     def drop(self, block_addr: int) -> None:
-        self._entries.pop(block_addr, None)
+        if self._entries.pop(block_addr, None) is not None \
+                and self.tracer is not None:
+            self.tracer.emit("dir.drop", unit=self.slice_id, addr=block_addr)
 
     def blocks(self) -> list[int]:
         return list(self._entries)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..energy.accounting import Component, EnergyLedger
 from ..errors import AddressError, CoherenceError
+from ..events.tracer import EventTracer
 from ..params import BLOCK_SIZE, PAGE_SIZE, MachineConfig
 from .block import MESIState
 from .cache import CacheLevel, Eviction
@@ -58,24 +59,32 @@ class CacheHierarchy:
                  wordline_underdrive: bool = True) -> None:
         self.config = config
         self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.tracer = (
+            EventTracer(capacity=config.event_buffer_capacity)
+            if config.trace_events else None
+        )
         cpc = config.cc.commands_per_cycle
         backend = config.backend
         self.l1 = [
             CacheLevel(config.l1d, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive, backend=backend)
-            for _ in range(config.cores)
+                       wordline_underdrive=wordline_underdrive, backend=backend,
+                       tracer=self.tracer, unit=core)
+            for core in range(config.cores)
         ]
         self.l2 = [
             CacheLevel(config.l2, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive, backend=backend)
-            for _ in range(config.cores)
+                       wordline_underdrive=wordline_underdrive, backend=backend,
+                       tracer=self.tracer, unit=core)
+            for core in range(config.cores)
         ]
         self.l3 = [
             CacheLevel(config.l3_slice, self.ledger, commands_per_cycle=cpc,
-                       wordline_underdrive=wordline_underdrive, backend=backend)
-            for _ in range(config.l3_slices)
+                       wordline_underdrive=wordline_underdrive, backend=backend,
+                       tracer=self.tracer, unit=slice_id)
+            for slice_id in range(config.l3_slices)
         ]
-        self.directory = [Directory() for _ in range(config.l3_slices)]
+        self.directory = [Directory(slice_id=s, tracer=self.tracer)
+                          for s in range(config.l3_slices)]
         self.ring = RingInterconnect(config.ring, self.ledger)
         self.memory = MainMemory(
             config.memory_size,
@@ -123,6 +132,9 @@ class CacheHierarchy:
         for level in (self.l1[core], self.l2[core]):
             if level.is_pinned(addr):
                 self.forced_unpins.append((level.name, core, addr))
+                if self.tracer is not None:
+                    self.tracer.emit("cc.pin_loss", core=core, level=level.name,
+                                     addr=addr, reason="coherence-invalidation")
                 level.unpin(addr)
         l1_res = self.l1[core].invalidate(addr)
         l2_res = self.l2[core].invalidate(addr)

@@ -12,7 +12,7 @@ per-cycle command issue budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..energy.tables import CACHE_ACCESS_ENERGY_PJ, CACHE_IC_ENERGY_PJ
 
@@ -25,6 +25,8 @@ class HTree:
     commands_per_cycle: int = 1
     data_transfers: int = 0
     commands_issued: int = 0
+    tracer: object = field(default=None, repr=False, compare=False)
+    unit: int = field(default=0, repr=False, compare=False)
 
     def _table_level(self) -> str:
         return "L1-D" if self.level_name.startswith("L1") else self.level_name
@@ -36,11 +38,17 @@ class HTree:
     def record_transfer(self) -> float:
         """Account one block transfer; returns its energy in pJ."""
         self.data_transfers += 1
+        if self.tracer is not None:
+            self.tracer.emit("htree.transfer", level=self.level_name,
+                             unit=self.unit)
         return self.transfer_energy_pj()
 
     def record_command(self) -> None:
         """Account one CC block-command broadcast over the address bus."""
         self.commands_issued += 1
+        if self.tracer is not None:
+            self.tracer.emit("htree.command", level=self.level_name,
+                             unit=self.unit)
 
     def command_issue_cycles(self, n_commands: int) -> int:
         """Cycles to stream ``n_commands`` block-ops down the shared bus."""

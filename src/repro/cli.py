@@ -10,6 +10,8 @@ Usage::
     python -m repro fig11            # checkpoint energy
     python -m repro tables           # Tables I, III, V
     python -m repro demo             # quickstart walkthrough
+    python -m repro profile t.trace --chrome-trace t.json
+                                     # cycle-attribution profile of a trace
 """
 
 from __future__ import annotations
@@ -121,6 +123,37 @@ def _cmd_demo(args) -> None:
           f"({m.ledger.breakdown()})")
 
 
+def _cmd_profile(args) -> None:
+    from .events import format_profile, profile_trace, write_chrome_trace
+    from .machine import ComputeCacheMachine
+    from .params import sandybridge_8core, small_test_machine
+
+    config = (small_test_machine() if args.machine == "small"
+              else sandybridge_8core())
+    if args.buffer is not None:
+        from dataclasses import replace
+        config = replace(config, event_buffer_capacity=args.buffer)
+    machine = ComputeCacheMachine(config, backend=args.backend,
+                                  trace_events=True)
+    with open(args.trace, encoding="utf-8") as handle:
+        text = handle.read()
+    profile, result, machine = profile_trace(text, machine=machine)
+    print(f"trace: {args.trace}  "
+          f"({result.instructions:,} instructions, "
+          f"{result.cc_instructions:,} CC, "
+          f"{result.cycles:,.1f} cycles, "
+          f"{result.dynamic_nj:,.1f} nJ dynamic)")
+    print()
+    print(format_profile(profile))
+    if args.chrome_trace:
+        write_chrome_trace(machine.tracer.snapshot(), args.chrome_trace)
+        print()
+        print(f"wrote Chrome-trace JSON to {args.chrome_trace} "
+              f"(load in Perfetto / chrome://tracing)")
+    if not profile.validate(result.cycles):
+        sys.exit(1)
+
+
 def _cmd_validate(args) -> None:
     from .validate import run_validation
 
@@ -172,6 +205,22 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--backend", choices=BACKENDS, default=None,
                     help="execution backend (default: config default, packed)")
     pd.set_defaults(fn=_cmd_demo)
+
+    pp = sub.add_parser(
+        "profile",
+        help="replay a trace with event tracing and report cycle attribution",
+    )
+    pp.add_argument("trace", help="trace file (see repro.trace for the grammar)")
+    pp.add_argument("--backend", choices=BACKENDS, default=None,
+                    help="execution backend (default: config default, packed)")
+    pp.add_argument("--machine", choices=("paper", "small"), default="paper",
+                    help="machine config: paper (Table IV) or small (test-sized)")
+    pp.add_argument("--buffer", type=int, default=None,
+                    help="event ring-buffer capacity (default 1Mi events)")
+    pp.add_argument("--chrome-trace", metavar="OUT.json", default=None,
+                    help="also write a Chrome-trace/Perfetto JSON timeline")
+    pp.set_defaults(fn=_cmd_profile)
+
     pv = sub.add_parser(
         "validate", help="fast end-to-end self-check of every layer"
     )

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..bitops import chunk_range
 from ..cache.hierarchy import L1, L2, L3, CacheHierarchy
@@ -71,6 +71,11 @@ class CCControllerStats:
     page_splits: int = 0
     fetch_cycles: float = 0.0
     compute_cycles: float = 0.0
+    fallback_reasons: dict[str, int] = field(default_factory=dict)
+    """Block ops that missed in-place execution, keyed by why
+    (``locality-miss``, ``pin-loss``, ``forced``)."""
+    level_compute_cycles: dict[str, float] = field(default_factory=dict)
+    """Compute makespan attributed to each cache level."""
 
 
 @dataclass
@@ -114,6 +119,7 @@ class ComputeCacheController:
         self.inplace = InPlaceExecutor(cc.inplace_latency)
         self.nearplace = NearPlaceUnit(cc.nearplace_latency)
         self.stats = CCControllerStats()
+        self.tracer = hierarchy.tracer
         self.contention_hook: Callable[[int], bool] | None = None
         """Test hook: called with each pinned block address; returning True
         simulates a forwarded coherence request stealing the line."""
@@ -252,7 +258,14 @@ class ComputeCacheController:
         # equivalent to issuing the ops one at a time; otherwise fall back
         # to the sequential per-op loop.  Both execution backends use the
         # same dispatch, so statistics and energy are backend-invariant.
-        batchable = not force_nearplace and self._batchable(instr, level)
+        hazard = "forced-nearplace" if force_nearplace else self._batch_hazard(instr, level)
+        batchable = hazard is None
+        if self.tracer is not None:
+            self.tracer.emit(
+                "cc.dispatch", core=self.core_id, level=level,
+                opcode=instr.opcode.value, instr_id=entry.instr_id,
+                outcome="batched" if batchable else "sequential", reason=hazard,
+            )
         batches: dict[tuple[int, int], list] = {}
         verify: list[tuple[BlockOperation, object, list, tuple[int, int]]] = []
 
@@ -277,14 +290,29 @@ class ComputeCacheController:
             self._drain_batches(instr, level, key_data, batches, verify,
                                 fetch_latencies, partition_load)
 
+        tracer = self.tracer
         for op in ops:
             if op.status is OpStatus.FAILED:
                 risc_ops += 1
+                outcome, span = "risc-fallback", 0.0
             elif op.inplace:
                 inplace_ops += 1
+                outcome, span = "in-place", float(self.inplace.inplace_latency)
             else:
                 nearplace_ops += 1
                 nearplace_cycles += self.nearplace.nearplace_latency
+                outcome, span = "near-place", float(self.nearplace.nearplace_latency)
+            if op.fallback_reason is not None:
+                self.stats.fallback_reasons[op.fallback_reason] = (
+                    self.stats.fallback_reasons.get(op.fallback_reason, 0) + 1
+                )
+            if tracer is not None:
+                tracer.emit(
+                    "cc.block_op", core=self.core_id, level=level,
+                    opcode=instr.opcode.value, partition=op.partition,
+                    addr=op.operands[0].addr, instr_id=entry.instr_id,
+                    span=span, outcome=outcome, reason=op.fallback_reason,
+                )
             if instr.opcode is Opcode.CLMUL:
                 clmul_bits.append((op.result_bits, op.result_bit_count))
                 entry.complete_op()
@@ -319,9 +347,37 @@ class ComputeCacheController:
         self.stats.block_ops_risc += risc_ops
         self.stats.fetch_cycles += fetch_cycles
         self.stats.compute_cycles += compute_cycles
+        self.stats.level_compute_cycles[level] = (
+            self.stats.level_compute_cycles.get(level, 0.0) + compute_cycles
+        )
         self.key_table.release(entry.instr_id)
         result = entry.result_mask
         self.instruction_table.retire(entry.instr_id)
+        if tracer is not None:
+            # Per-piece cycle attribution: the emitted phase spans sum
+            # exactly to this piece's latency (the profiler asserts it).
+            for phase, span in (
+                ("decode", float(INSTRUCTION_OVERHEAD_CYCLES)),
+                ("operand-fetch", float(fetch_cycles)),
+                ("compute-inplace", float(compute_cycles - nearplace_cycles)),
+                ("compute-nearplace", float(nearplace_cycles)),
+                ("notify", float(notify)),
+            ):
+                if span:
+                    tracer.emit(
+                        "cc.attr", core=self.core_id, level=level,
+                        opcode=instr.opcode.value, instr_id=entry.instr_id,
+                        phase=phase, span=span,
+                    )
+            if risc_ops == 0:
+                instr_outcome = "in-place" if nearplace_ops == 0 else "near-place"
+            else:
+                instr_outcome = "risc-fallback" if inplace_ops == nearplace_ops == 0 else "mixed"
+            tracer.emit(
+                "cc.instruction", core=self.core_id, level=level,
+                opcode=instr.opcode.value, instr_id=entry.instr_id,
+                span=float(cycles), outcome=instr_outcome,
+            )
         return CCResult(
             instr=instr, result=result, cycles=cycles, level=level,
             inplace_ops=inplace_ops, nearplace_ops=nearplace_ops, risc_ops=risc_ops,
@@ -331,21 +387,44 @@ class ComputeCacheController:
 
     # -- block-op lifecycle -------------------------------------------------------------------
 
+    def _acquire_operands(self, op: BlockOperation, instr: CCInstruction, level: str,
+                          key_data: bytes | None, skip_fetch: bool,
+                          fetch_latencies: list[int]) -> bool:
+        """Fetch and pin every operand, retrying when a pin is lost.
+
+        Returns True once all operands are pinned.  After exactly
+        ``pin_retry_limit`` failed attempts the op is handed to the RISC
+        fallback (starvation avoidance, Section IV-E) and False is
+        returned.  Shared by the sequential and batched dispatch paths so
+        retry accounting and fallback semantics cannot diverge.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            op.pin_attempts = attempts
+            lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
+            if not lost:
+                return True
+            self.stats.pin_retries += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "cc.pin_retry", core=self.core_id, level=level,
+                    opcode=instr.opcode.value, instr_id=op.instr_id,
+                    addr=op.operands[0].addr,
+                )
+            if attempts >= self.config.cc.pin_retry_limit:
+                self._unpin_all(op, level)
+                op.fallback_reason = "pin-loss"
+                self._risc_fallback(op, instr, key_data)
+                return False
+
     def _run_block_op(self, op: BlockOperation, instr: CCInstruction, level: str,
                       key_data: bytes | None, force_nearplace: bool,
                       fetch_latencies: list[int], partition_load: dict[int, int]) -> None:
         skip_fetch = self._overwrites_dest(instr)
-        attempts = 0
-        while True:
-            attempts += 1
-            lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
-            if not lost:
-                break
-            self.stats.pin_retries += 1
-            if attempts > self.config.cc.pin_retry_limit:
-                self._unpin_all(op, level)
-                self._risc_fallback(op, instr, key_data)
-                return
+        if not self._acquire_operands(op, instr, level, key_data, skip_fetch,
+                                      fetch_latencies):
+            return
 
         cache = self.hierarchy.level_cache(level, self.core_id, op.operands[0].addr)
         use_inplace = not force_nearplace and self._locality_holds(op, level)
@@ -360,6 +439,7 @@ class ComputeCacheController:
             else:
                 # Near-place handles any operand placement, including L3
                 # operands homed on different NUCA slices.
+                op.fallback_reason = "forced" if force_nearplace else "locality-miss"
                 outcome = self.nearplace.execute(
                     lambda addr: self.hierarchy.level_cache(level, self.core_id, addr),
                     op, key_data=key_data,
@@ -373,17 +453,18 @@ class ComputeCacheController:
 
     # -- batched dispatch (phase A / phase B) ----------------------------------------------------
 
-    def _batchable(self, instr: CCInstruction, level: str) -> bool:
-        """True when batched dispatch is provably equivalent to sequential.
+    def _batch_hazard(self, instr: CCInstruction, level: str) -> str | None:
+        """Why batched dispatch is *not* provably equivalent to sequential
+        (``"data-hazard"`` / ``"occupancy"``), or None when it is safe.
 
         Two conditions.  (1) No inter-op data hazard: a *shifted* overlap
         between the destination range and a source range makes a later
         block op read an earlier op's result, which batched gather/compute/
         scatter would miss (an exactly aligned ``dest == src`` overlap is
-        within-op and safe).  (2) No capacity hazard: every operand block
-        (plus the staged key) must be co-resident at the compute level and
-        at every inclusive level below it, so no phase-A fetch can evict a
-        block an earlier op already located.
+        within-op and safe).  (2) No capacity (occupancy) hazard: every
+        operand block (plus the staged key) must be co-resident at the
+        compute level and at every inclusive level below it, so no phase-A
+        fetch can evict a block an earlier op already located.
         """
         op = instr.opcode
         if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.COPY):
@@ -393,7 +474,7 @@ class ComputeCacheController:
                 srcs.append(instr.src2)
             for src in srcs:
                 if src != dest and src < dest + instr.size and dest < src + instr.size:
-                    return False
+                    return "data-hazard"
         blocks: set[int] = set()
         for name, base in instr.operands().items():
             if name == "dest" and instr.opcode is Opcode.CLMUL:
@@ -408,8 +489,8 @@ class ComputeCacheController:
                 key = (id(cache), cache.geometry.decode(addr).set_index)
                 occupancy[key] = occupancy.get(key, 0) + 1
                 if occupancy[key] > cache.config.ways:
-                    return False
-        return True
+                    return "occupancy"
+        return None
 
     def _stage_block_op(self, op: BlockOperation, instr: CCInstruction, level: str,
                         key_data: bytes | None, fetch_latencies: list[int],
@@ -423,19 +504,12 @@ class ComputeCacheController:
         immediately, as in the sequential path.
         """
         skip_fetch = self._overwrites_dest(instr)
-        attempts = 0
-        while True:
-            attempts += 1
-            lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
-            if not lost:
-                break
-            self.stats.pin_retries += 1
-            if attempts > self.config.cc.pin_retry_limit:
-                self._unpin_all(op, level)
-                self._risc_fallback(op, instr, key_data)
-                return
+        if not self._acquire_operands(op, instr, level, key_data, skip_fetch,
+                                      fetch_latencies):
+            return
         if not self._locality_holds(op, level):
             try:
+                op.fallback_reason = "locality-miss"
                 outcome = self.nearplace.execute(
                     lambda addr: self.hierarchy.level_cache(level, self.core_id, addr),
                     op, key_data=key_data,
@@ -453,6 +527,7 @@ class ComputeCacheController:
                 self._replicate_key(op, instr, level, key_data)
             subarray, rows, located = self._locate_rows(cache, op)
             partition = cache.geometry.partition_of(op.operands[0].addr)
+            op.partition = partition
             partition_load[partition] = partition_load.get(partition, 0) + 1
         finally:
             self._unpin_all(op, level)
@@ -503,7 +578,7 @@ class ComputeCacheController:
                        partition_load: dict[int, int]) -> None:
         """Phase B: verify located rows, then one kernel call per sub-array.
 
-        ``_batchable`` guarantees no phase-A fetch can displace a located
+        ``_batch_hazard`` guarantees no phase-A fetch can displace a located
         block, so verification is a pure backstop; any op whose rows did
         move is pulled out of its batch and re-executed sequentially.
         """
@@ -538,6 +613,12 @@ class ComputeCacheController:
             )
             if latency:
                 fetch_latencies.append(latency)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "cc.fetch", core=self.core_id, level=level,
+                        addr=operand.addr, instr_id=op.instr_id,
+                        span=float(latency),
+                    )
             cache = self.hierarchy.level_cache(level, self.core_id, operand.addr)
             try:
                 cache.pin(operand.addr, op.instr_id)
@@ -579,6 +660,9 @@ class ComputeCacheController:
         """Fetch the 64-byte key to the compute level and read it out once."""
         key_addr = instr.src2
         latency = self.hierarchy.cc_prepare(self.core_id, level, key_addr, is_dest=False)
+        if latency and self.tracer is not None:
+            self.tracer.emit("cc.fetch", core=self.core_id, level=level,
+                             addr=key_addr, span=float(latency), outcome="key")
         cache = self.hierarchy.level_cache(level, self.core_id, key_addr)
         return cache.read_block(key_addr, charge=False), latency
 
@@ -603,6 +687,11 @@ class ComputeCacheController:
                 charge_key_broadcast(cache.ledger, cache.name)
             charge_key_row_write(cache.ledger, cache.name)
             self.stats.key_replications += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "cc.key_replicate", core=self.core_id, level=level,
+                    partition=partition, addr=data_addr, instr_id=op.instr_id,
+                )
 
     # -- clmul result packing ----------------------------------------------------------------------
 

@@ -62,6 +62,13 @@ class InPlaceExecutor:
         charge_cc_op(level.ledger, level.name, charge_op)
         level.stats.cc_inplace_ops += 1
         self.ops_executed += 1
+        if level.tracer is not None:
+            level.tracer.emit(
+                "subarray.op", level=level.name, unit=level.unit,
+                opcode=op.subarray_op, partition=partition,
+                addr=op.operands[0].addr, instr_id=op.instr_id,
+                span=float(self.inplace_latency),
+            )
         return outcome
 
     def execute_batch(self, level: CacheLevel, subarray, partition: int,
@@ -104,6 +111,13 @@ class InPlaceExecutor:
             charge_cc_op(level.ledger, level.name, charge_op)
             level.stats.cc_inplace_ops += 1
             self.ops_executed += 1
+            if level.tracer is not None:
+                level.tracer.emit(
+                    "subarray.op", level=level.name, unit=level.unit,
+                    opcode=subop, partition=partition,
+                    addr=op.operands[0].addr, instr_id=op.instr_id,
+                    span=float(self.inplace_latency),
+                )
 
     # -- per-op handlers ----------------------------------------------------------
 

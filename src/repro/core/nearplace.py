@@ -149,8 +149,15 @@ class NearPlaceUnit:
             cache_for(dest.addr).write_block(dest.addr, result_data, dirty=True)
             self.registers.invalidate(dest.addr)
         stats_home = op.operands[0].addr
-        cache_for(stats_home).stats.cc_nearplace_ops += 1
+        home = cache_for(stats_home)
+        home.stats.cc_nearplace_ops += 1
         self.ops_executed += 1
+        if home.tracer is not None:
+            home.tracer.emit(
+                "nearplace.op", level=home.name, unit=home.unit,
+                opcode=subop, addr=stats_home, instr_id=op.instr_id,
+                span=float(self.nearplace_latency),
+            )
         return NearPlaceOutcome(bits, bit_count, self.nearplace_latency, result_data)
 
     @staticmethod

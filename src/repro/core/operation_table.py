@@ -54,6 +54,9 @@ class BlockOperation:
     pin_attempts: int = 0
     result_bits: int = 0
     result_bit_count: int = 0
+    fallback_reason: str | None = None
+    """Why the op missed in-place execution (``locality-miss``,
+    ``pin-loss``, ``forced``); ``None`` when it ran in place."""
 
     @property
     def addresses(self) -> list[int]:

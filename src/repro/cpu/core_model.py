@@ -77,6 +77,7 @@ class CoreModel:
         self.mlp = mlp
         self.order_model = RMOOrderModel()
         self.keep_load_data = False
+        self.tracer = hierarchy.tracer
 
     # -- energy helpers ---------------------------------------------------------
 
@@ -109,10 +110,17 @@ class CoreModel:
         pending_stall = 0.0
         cc_busy_until = 0.0       # when the controller can accept new work
         cc_last_completion = 0.0  # when all issued CC work has finished
+        tracer = self.tracer
         for instr in program:
             res.instructions += 1
             self._charge_core(instr)
             res.cycles += 1  # issue slot
+            if tracer is not None:
+                # ``core.phase`` spans tile [0, res.cycles]: the profiler
+                # asserts they sum to the run's total machine cycles.
+                tracer.emit("core.phase", core=self.core_id, phase="issue",
+                            cycle=res.cycles - 1.0, span=1.0,
+                            outcome=instr.kind.name.lower())
 
             if instr.kind in (InstrKind.SCALAR_OP, InstrKind.BRANCH, InstrKind.SIMD_OP):
                 if instr.kind is InstrKind.SIMD_OP:
@@ -131,6 +139,10 @@ class CoreModel:
                 if latency > l1_hit and not instr.streaming:
                     if instr.dependent:
                         # A serial chain: the full latency is exposed now.
+                        if tracer is not None:
+                            tracer.emit("core.phase", core=self.core_id,
+                                        phase="load-stall", cycle=float(res.cycles),
+                                        span=float(latency - l1_hit), addr=instr.addr)
                         res.cycles += latency - l1_hit
                         res.stall_cycles += latency - l1_hit
                     else:
@@ -178,6 +190,14 @@ class CoreModel:
                 start = max(res.cycles, cc_busy_until)
                 cc_busy_until = start + max(cc_res.occupancy_cycles, 1.0)
                 cc_last_completion = max(cc_last_completion, start + cc_res.cycles)
+                if tracer is not None:
+                    opname = instr.cc.opcode.value
+                    tracer.emit("cc.timeline", core=self.core_id, phase="occupancy",
+                                opcode=opname, cycle=float(start),
+                                span=float(max(cc_res.occupancy_cycles, 1.0)))
+                    tracer.emit("cc.timeline", core=self.core_id, phase="total",
+                                opcode=opname, cycle=float(start),
+                                span=float(cc_res.cycles))
                 continue
 
             if instr.kind is InstrKind.FENCE:
@@ -185,23 +205,37 @@ class CoreModel:
                 # Fence commit waits for every pending operation,
                 # including in-flight CC instructions (Section IV-G).
                 self.order_model.drain_for_fence()
+                if tracer is not None and pending_stall:
+                    tracer.emit("core.phase", core=self.core_id, phase="mlp-stall",
+                                cycle=float(res.cycles), span=float(pending_stall))
                 res.cycles += pending_stall
                 res.stall_cycles += pending_stall
                 pending_stall = 0.0
                 drain_to = max(cc_busy_until, cc_last_completion)
                 if drain_to > res.cycles:
+                    if tracer is not None:
+                        tracer.emit("core.phase", core=self.core_id, phase="cc-drain",
+                                    cycle=float(res.cycles),
+                                    span=float(drain_to - res.cycles))
                     res.stall_cycles += drain_to - res.cycles
                     res.cycles = drain_to
                 continue
 
             raise ReproError(f"core cannot execute {instr.kind}")
 
+        if tracer is not None and pending_stall:
+            tracer.emit("core.phase", core=self.core_id, phase="mlp-stall",
+                        cycle=float(res.cycles), span=float(pending_stall))
         res.cycles += pending_stall
         res.stall_cycles += pending_stall
         # Results are consumed at the end of the stream: expose whatever CC
         # latency the core could not hide.
         drain_to = max(cc_busy_until, cc_last_completion)
         if drain_to > res.cycles:
+            if tracer is not None:
+                tracer.emit("core.phase", core=self.core_id, phase="cc-drain",
+                            cycle=float(res.cycles),
+                            span=float(drain_to - res.cycles))
             res.stall_cycles += drain_to - res.cycles
             res.cycles = drain_to
         return res

@@ -35,21 +35,31 @@ class ComputeCacheMachine:
 
     ``backend`` (``"packed"`` or ``"bitexact"``) overrides the execution
     backend of ``config`` for this machine; ``None`` keeps the config's
-    choice (``MachineConfig.backend``, default ``"packed"``).
+    choice (``MachineConfig.backend``, default ``"packed"``).  Likewise
+    ``trace_events`` overrides ``MachineConfig.trace_events``: when on,
+    ``machine.tracer`` holds the :class:`~repro.events.EventTracer` every
+    layer of the machine emits into (see :mod:`repro.events`).
     """
 
     def __init__(self, config: MachineConfig | None = None,
                  wordline_underdrive: bool = True,
-                 backend: str | None = None) -> None:
+                 backend: str | None = None,
+                 trace_events: bool | None = None) -> None:
         from dataclasses import replace
 
         self.config = config or sandybridge_8core()
+        overrides = {}
         if backend is not None and backend != self.config.backend:
-            self.config = replace(self.config, backend=backend)
+            overrides["backend"] = backend
+        if trace_events is not None and trace_events != self.config.trace_events:
+            overrides["trace_events"] = trace_events
+        if overrides:
+            self.config = replace(self.config, **overrides)
         self.ledger = EnergyLedger()
         self.hierarchy = CacheHierarchy(
             self.config, self.ledger, wordline_underdrive=wordline_underdrive
         )
+        self.tracer = self.hierarchy.tracer
         self.controllers = [
             ComputeCacheController(self.hierarchy, core_id, self.config)
             for core_id in range(self.config.cores)

@@ -253,6 +253,13 @@ class MachineConfig:
     memory_size: int = 64 * 1024 * 1024
     static_power_uncore_mw: float = 1400.0
     backend: str = "packed"
+    trace_events: bool = False
+    """Attach a structured event tracer (:mod:`repro.events`) to every
+    layer of the machine.  Off by default: the only residual cost of the
+    instrumentation is a ``tracer is not None`` check on the hot paths."""
+    event_buffer_capacity: int = 1 << 20
+    """Ring-buffer capacity of the event tracer (oldest events are dropped
+    once full; the profiler refuses to validate a truncated stream)."""
 
     def __post_init__(self) -> None:
         if self.memory_size % PAGE_SIZE:
@@ -263,6 +270,8 @@ class MachineConfig:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
+        if self.event_buffer_capacity <= 0:
+            raise ConfigError("event_buffer_capacity must be positive")
 
     @property
     def l3_total_size(self) -> int:

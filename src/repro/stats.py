@@ -35,9 +35,15 @@ class CacheLevelSnapshot:
     subarray_reads: int
     subarray_writes: int
     subarray_compute_ops: int
+    cc_compute_cycles: float = 0.0
+    """Compute makespan the CC controllers attributed to this level -
+    the same definition the event profiler uses
+    (:class:`repro.events.TraceProfile.level_compute_cycles`), so the two
+    reports can never disagree."""
 
     @property
     def hit_rate(self) -> float:
+        """Tag hit fraction; 0.0 when the level was never looked up."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -58,6 +64,11 @@ class MachineSnapshot:
     cc_page_splits: int
     dynamic_energy_nj: float
     energy_breakdown_nj: dict[str, float] = field(default_factory=dict)
+    cc_fallback_reasons: dict[str, int] = field(default_factory=dict)
+    """Block ops that missed in-place execution, keyed by why
+    (``locality-miss``, ``pin-loss``, ``forced``)."""
+    cc_level_compute_cycles: dict[str, float] = field(default_factory=dict)
+    """CC compute makespan per cache level."""
 
 
 def _level_snapshot(name: str, caches) -> CacheLevelSnapshot:
@@ -104,6 +115,8 @@ def collect_stats(machine: ComputeCacheMachine) -> MachineSnapshot:
     }
     cc = dict(instructions=0, inplace=0, nearplace=0, risc=0,
               keys=0, retries=0, splits=0)
+    reasons: dict[str, int] = {}
+    level_cycles: dict[str, float] = {}
     for controller in machine.controllers:
         s = controller.stats
         cc["instructions"] += s.instructions
@@ -113,6 +126,12 @@ def collect_stats(machine: ComputeCacheMachine) -> MachineSnapshot:
         cc["keys"] += s.key_replications
         cc["retries"] += s.pin_retries
         cc["splits"] += s.page_splits
+        for reason, count in s.fallback_reasons.items():
+            reasons[reason] = reasons.get(reason, 0) + count
+        for level, cycles in s.level_compute_cycles.items():
+            level_cycles[level] = level_cycles.get(level, 0.0) + cycles
+    for name, level in levels.items():
+        level.cc_compute_cycles = level_cycles.get(name, 0.0)
     return MachineSnapshot(
         levels=levels,
         ring_control_messages=hier.ring.stats.control_messages,
@@ -131,6 +150,8 @@ def collect_stats(machine: ComputeCacheMachine) -> MachineSnapshot:
         energy_breakdown_nj={
             k: v / 1000.0 for k, v in machine.ledger.breakdown().items()
         },
+        cc_fallback_reasons=reasons,
+        cc_level_compute_cycles=level_cycles,
     )
 
 
@@ -145,6 +166,8 @@ def format_stats(snap: MachineSnapshot) -> str:
             f"{level.fills:,} fills, {level.writebacks:,} writebacks, "
             f"{level.cc_inplace_ops:,} in-place / "
             f"{level.cc_nearplace_ops:,} near-place CC ops"
+            + (f" ({level.cc_compute_cycles:,.1f} compute cycles)"
+               if level.cc_compute_cycles else "")
         )
         lines.append(
             f"    sub-arrays: {level.subarray_reads:,} reads, "
@@ -169,6 +192,10 @@ def format_stats(snap: MachineSnapshot) -> str:
         f"{snap.cc_pin_retries:,} pin retries, "
         f"{snap.cc_page_splits:,} page splits"
     )
+    if snap.cc_fallback_reasons:
+        parts = ", ".join(f"{reason}: {count:,}"
+                          for reason, count in sorted(snap.cc_fallback_reasons.items()))
+        lines.append(f"    fallback reasons: {parts}")
     lines.append(f"dynamic energy: {snap.dynamic_energy_nj:,.1f} nJ")
     for component, nj in snap.energy_breakdown_nj.items():
         lines.append(f"    {component:14s} {nj:12,.1f} nJ")

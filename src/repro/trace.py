@@ -28,6 +28,12 @@ Event grammar (one per line, ``#`` comments):
 =============  ===========================================
 
 Data specs: ``zeros:N``, ``repeat:0xVV*N``, ``bytes:<hex>``.
+
+Data-spec grammar rules: the count ``N`` must be a *non-negative* integer
+(decimal or ``0x`` hex) - a negative count is a parse error, not an empty
+payload - and ``bytes:`` data must be an even number of hex digits (whole
+bytes).  Violations raise :class:`~repro.errors.ISAError` tagged with the
+offending trace line number.
 """
 
 from __future__ import annotations
@@ -51,22 +57,36 @@ class TraceResult:
     cc_results: list = field(default_factory=list)
 
 
+def _parse_count(text: str, spec: str) -> int:
+    """A data-spec byte count: a non-negative decimal or ``0x`` integer."""
+    count = int(text, 0)
+    if count < 0:
+        raise ISAError(
+            f"negative byte count {count} in data spec {spec!r} "
+            f"(counts must be >= 0)"
+        )
+    return count
+
+
 def _parse_data_spec(spec: str) -> bytes:
     spec = spec.strip()
     if spec.startswith("zeros:"):
-        return bytes(int(spec[len("zeros:"):], 0))
+        return bytes(_parse_count(spec[len("zeros:"):], spec))
     if spec.startswith("repeat:"):
         body = spec[len("repeat:"):]
         value_s, _, count_s = body.partition("*")
         if not count_s:
             raise ISAError(f"repeat spec needs 0xVV*N, got {spec!r}")
-        return bytes([int(value_s, 0) & 0xFF]) * int(count_s, 0)
+        return bytes([int(value_s, 0) & 0xFF]) * _parse_count(count_s, spec)
     if spec.startswith("bytes:"):
         hexstr = spec[len("bytes:"):]
         try:
             return bytes.fromhex(hexstr)
         except ValueError:
-            raise ISAError(f"bad hex in {spec!r}") from None
+            raise ISAError(
+                f"bad hex in {spec!r} (data must be an even number of "
+                f"hex digits - whole bytes)"
+            ) from None
     raise ISAError(f"unknown data spec {spec!r}")
 
 

@@ -27,10 +27,11 @@ from repro.sram.subarray import BACKENDS
 REGION = 2 * PAGE_SIZE  # big enough that offsets can span a page boundary
 
 
-def machine_pair():
+def machine_pair(trace_events=False):
     """Two machines with identical configs and arena layouts, differing
     only in execution backend."""
-    return {be: ComputeCacheMachine(small_test_machine(), backend=be)
+    return {be: ComputeCacheMachine(small_test_machine(), backend=be,
+                                    trace_events=trace_events)
             for be in BACKENDS}
 
 
@@ -139,6 +140,23 @@ class TestDifferentialStream:
             _, bufs = run_plan(m, plan)
             images[be] = b"".join(m.peek(base, REGION) for base in bufs)
         assert images["bitexact"] == images["packed"]
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_event_streams_agree(self, seed):
+        """Event tracing is backend-invariant: the same random plan must
+        produce bit-identical event streams (every field, including cycle
+        stamps and spans - simulated time only, never wall-clock)."""
+        plan = build_plan(seed)
+        machines = machine_pair(trace_events=True)
+        for m in machines.values():
+            run_plan(m, plan)
+        ev = {be: m.tracer.snapshot() for be, m in machines.items()}
+        assert len(ev["bitexact"]) == len(ev["packed"]) > 0
+        for i, (be_ev, pk_ev) in enumerate(zip(ev["bitexact"],
+                                               ev["packed"])):
+            assert be_ev == pk_ev, f"seed {seed}: event {i} diverges"
+        assert (machines["bitexact"].tracer.dropped
+                == machines["packed"].tracer.dropped)
 
 
 # -- Hypothesis per-opcode properties -----------------------------------------

@@ -244,3 +244,57 @@ class TestInstructionStats:
         res = m.cc(cc_ops.cc_and(a, b, c, 512))
         assert res.cycles > 0
         assert res.cycles >= res.fetch_cycles + res.compute_cycles
+
+
+class TestPinRetryLimit:
+    """Fallback happens after EXACTLY ``pin_retry_limit`` failed pin
+    attempts - identically on the batched and the sequential dispatch
+    paths (regression for the historical off-by-one where ``limit + 1``
+    failures were needed, and for the two paths diverging)."""
+
+    @staticmethod
+    def _counting_hook(max_fails):
+        calls = {}
+
+        def hook(addr):
+            calls[addr] = calls.get(addr, 0) + 1
+            return calls[addr] <= max_fails
+
+        return hook, calls
+
+    @pytest.mark.parametrize("force_nearplace", [False, True],
+                             ids=["batched", "sequential"])
+    def test_fallback_after_exactly_limit_failures(self, machine, make_bytes,
+                                                   force_nearplace):
+        limit = machine.config.cc.pin_retry_limit
+        addr = machine.arena.alloc_page_aligned(512)
+        machine.load(addr, make_bytes(512))
+        hook, calls = self._counting_hook(limit)
+        machine.controllers[0].contention_hook = hook
+        res = machine.cc(cc_ops.cc_buz(addr, 512),
+                         force_nearplace=force_nearplace)
+        stats = machine.controllers[0].stats
+        assert res.risc_ops == 8 and stats.risc_fallbacks == 8
+        assert stats.pin_retries == 8 * limit
+        # Exactly `limit` attempts per block op: the controller never
+        # re-pins a (limit+1)-th time before falling back.
+        assert max(calls.values()) == limit
+        assert stats.fallback_reasons == {"pin-loss": 8}
+        assert machine.peek(addr, 512) == bytes(512)  # RISC result exact
+
+    @pytest.mark.parametrize("force_nearplace", [False, True],
+                             ids=["batched", "sequential"])
+    def test_limit_minus_one_failures_recover(self, machine, make_bytes,
+                                              force_nearplace):
+        limit = machine.config.cc.pin_retry_limit
+        assert limit >= 2, "test needs room for a transient failure"
+        addr = machine.arena.alloc_page_aligned(512)
+        machine.load(addr, make_bytes(512))
+        hook, _ = self._counting_hook(limit - 1)
+        machine.controllers[0].contention_hook = hook
+        res = machine.cc(cc_ops.cc_buz(addr, 512),
+                         force_nearplace=force_nearplace)
+        stats = machine.controllers[0].stats
+        assert res.risc_ops == 0 and stats.risc_fallbacks == 0
+        assert stats.pin_retries == 8 * (limit - 1)
+        assert machine.peek(addr, 512) == bytes(512)
