@@ -19,8 +19,14 @@ Figure 9 (a, b)     :func:`repro.bench.appbench.figure9`
 Figure 10           :func:`repro.bench.checkpointbench.figure10_overheads`
 Figure 11           :func:`repro.bench.checkpointbench.figure11_energy`
 ==================  ==========================================================
+Every harness submits its (machine config × workload) grid through
+:mod:`repro.bench.runner` — a process-pool execution engine with an
+on-disk result cache keyed by content hash — via point functions
+registered in :mod:`repro.bench.points`.  See ``docs/benchmarks.md``
+for the workflow (``--jobs``, ``--no-cache``, cache-key semantics).
 """
 
-from . import appbench, checkpointbench, microbench, report
+from . import appbench, checkpointbench, microbench, points, report, runner, sweeps
 
-__all__ = ["appbench", "checkpointbench", "microbench", "report"]
+__all__ = ["appbench", "checkpointbench", "microbench", "points", "report",
+           "runner", "sweeps"]

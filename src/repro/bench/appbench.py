@@ -117,17 +117,42 @@ def bench_bitmap(n_rows: int = 1 << 17, n_queries: int = 6) -> AppComparison:
     )
 
 
-def figure9(scale: float = 1.0) -> dict[str, AppComparison]:
-    """Figure 9 (a) and (b): all four applications.
+@dataclass(frozen=True)
+class AppSummary:
+    """JSON-round-trippable reduction of an :class:`AppComparison` —
+    what an ``app`` simulation point returns through the sweep runner.
+    Exposes the same derived metrics Figure 9's consumers read."""
 
-    ``scale`` < 1 shrinks workloads proportionally for quick runs.
+    app: str
+    speedup: float
+    instruction_reduction: float
+    total_energy_ratio: float
+    outputs_match: bool
+    baseline_cycles: float
+    cc_cycles: float
+    baseline_instructions: int
+    cc_instructions: int
+    baseline_total_nj: float
+    cc_total_nj: float
+
+
+def figure9(scale: float = 1.0, runner=None) -> dict[str, AppSummary]:
+    """Figure 9 (a) and (b): all four applications, one runner point each
+    (they simulate concurrently under ``--jobs``).
+
+    ``scale`` < 1 shrinks workloads proportionally for quick runs; the
+    per-application size mapping lives in
+    :func:`repro.bench.points.app_point`.
     """
-    return {
-        "wordcount": bench_wordcount(n_words=int(6000 * scale)),
-        "stringmatch": bench_stringmatch(n_words=max(256, int(4096 * scale))),
-        "bmm": bench_bmm(n=256 if scale >= 1.0 else 128),
-        "db-bitmap": bench_bitmap(n_rows=max(1 << 14, int((1 << 17) * scale))),
-    }
+    from .microbench import _resolve_runner
+    from .runner import Point
+
+    runner = _resolve_runner(runner)
+    docs = runner.run([
+        Point("app", {"app": app, "scale": scale}, label=f"fig9:{app}")
+        for app in APPS
+    ])
+    return {doc["app"]: AppSummary(**doc) for doc in docs}
 
 
 

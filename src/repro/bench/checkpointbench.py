@@ -43,27 +43,37 @@ def run_benchmark(name: str, intervals: int = 2) -> CheckpointComparison:
     return CheckpointComparison(benchmark=name, runs=runs)
 
 
+def _checkpoint_points(intervals: int, benchmarks: tuple[str, ...],
+                       runner) -> list[dict]:
+    """One ``checkpoint`` runner point per benchmark; each point carries
+    both the Figure 10 overheads and the Figure 11 energies, so
+    regenerating both figures (or re-running one with a warm cache)
+    simulates every profile once."""
+    from .microbench import _resolve_runner
+    from .runner import Point
+
+    runner = _resolve_runner(runner)
+    return runner.run([
+        Point("checkpoint", {"benchmark": name, "intervals": intervals},
+              label=f"checkpoint:{name}x{intervals}")
+        for name in benchmarks
+    ])
+
+
 def figure10_overheads(intervals: int = 2,
-                       benchmarks: tuple[str, ...] = BENCHMARKS) -> dict[str, dict[str, float]]:
+                       benchmarks: tuple[str, ...] = BENCHMARKS,
+                       runner=None) -> dict[str, dict[str, float]]:
     """Figure 10: checkpointing performance overhead (%) per benchmark."""
-    out = {}
-    for name in benchmarks:
-        comp = run_benchmark(name, intervals)
-        out[name] = {engine: comp.overhead(engine) for engine in ENGINES}
-    return out
+    docs = _checkpoint_points(intervals, benchmarks, runner)
+    return {doc["benchmark"]: doc["overheads"] for doc in docs}
 
 
 def figure11_energy(intervals: int = 2,
-                    benchmarks: tuple[str, ...] = BENCHMARKS) -> dict[str, dict[str, float]]:
+                    benchmarks: tuple[str, ...] = BENCHMARKS,
+                    runner=None) -> dict[str, dict[str, float]]:
     """Figure 11: total energy (nJ) per benchmark, including no_chkpt."""
-    out = {}
-    for name in benchmarks:
-        comp = run_benchmark(name, intervals)
-        out[name] = {
-            "no_chkpt": comp.total_energy_nj("none"),
-            **{engine: comp.total_energy_nj(engine) for engine in ENGINES},
-        }
-    return out
+    docs = _checkpoint_points(intervals, benchmarks, runner)
+    return {doc["benchmark"]: doc["energy"] for doc in docs}
 
 
 def summarize_overheads(overheads: dict[str, dict[str, float]]) -> dict[str, float]:

@@ -1,12 +1,25 @@
 """Machine-readable results export (artifact-evaluation plumbing).
 
 ``python -m repro export --out results.json`` runs the fast exhibits and
-writes one JSON document containing the machine configuration, every
-table, the micro-benchmark figures, and the validation verdict - the
-artifact a reviewer diffs against EXPERIMENTS.md.
+writes one JSON document containing the machine configuration, a
+provenance header, every table, the micro-benchmark figures, and the
+validation verdict - the artifact a reviewer diffs against
+EXPERIMENTS.md.
 
 The heavyweight exhibits (Figures 9-11) are included only with
-``--full`` (several minutes of simulation).
+``--full`` (several minutes of simulation).  Every figure is produced
+through :mod:`repro.bench.runner`, so ``--jobs N`` fans the grid out
+over worker processes and an unchanged tree re-exports almost entirely
+from the on-disk result cache; the document is bit-identical either way
+(see ``tests/test_runner.py``).
+
+The ``provenance`` header pins what produced the numbers - execution
+backend, source-tree content fingerprint, git commit, and the fixed
+workload seeds - so results JSON from different trees (where cached
+points would have been invalid) is always distinguishable.  Deliberately
+*not* in the header: anything that varies between equivalent runs of the
+same tree (job count, cache hit counts, wall-clock), which would break
+the serial/parallel/cached bit-identity contract.
 """
 
 from __future__ import annotations
@@ -17,6 +30,8 @@ from typing import Any
 from ..config_io import config_to_dict
 from ..params import sandybridge_8core
 from . import appbench, checkpointbench, microbench
+from .points import WORKLOAD_SEEDS
+from .runner import PointRunner, code_fingerprint, git_revision
 
 
 def _kernel_entry(meas) -> dict[str, Any]:
@@ -32,20 +47,32 @@ def _kernel_entry(meas) -> dict[str, Any]:
     }
 
 
-def export_fast() -> dict[str, Any]:
+def provenance() -> dict[str, Any]:
+    """The results-JSON provenance header (deterministic per tree)."""
+    return {
+        "backend": sandybridge_8core().backend,
+        "code_version": code_fingerprint(),
+        "git_commit": git_revision(),
+        "workload_seeds": dict(WORKLOAD_SEEDS),
+    }
+
+
+def export_fast(runner: PointRunner | None = None) -> dict[str, Any]:
     """Tables I/III/V, Figures 3/7/8a, and the validation battery."""
     from ..validate import run_validation
 
-    fig7 = microbench.figure7()
-    fig8a = microbench.figure8a_inplace_vs_nearplace()
+    runner = runner or PointRunner()
+    fig7 = microbench.figure7(runner=runner)
+    fig8a = microbench.figure8a_inplace_vs_nearplace(runner=runner)
     doc: dict[str, Any] = {
         "schema": "repro.results/1",
+        "provenance": provenance(),
         "machine": config_to_dict(sandybridge_8core()),
         "validation_ok": run_validation(verbose=False),
         "table1": microbench.table1_rows(),
         "table3": microbench.table3_rows(),
         "table5": microbench.table5_rows(),
-        "figure3": microbench.figure3_energy_proportions(),
+        "figure3": microbench.figure3_energy_proportions(runner=runner),
         "figure7": {
             kernel: {cfg: _kernel_entry(meas) for cfg, meas in pair.items()}
             for kernel, pair in fig7.items()
@@ -59,11 +86,13 @@ def export_fast() -> dict[str, Any]:
     return doc
 
 
-def export_full(scale: float = 0.5, intervals: int = 1) -> dict[str, Any]:
+def export_full(scale: float = 0.5, intervals: int = 1,
+                runner: PointRunner | None = None) -> dict[str, Any]:
     """Everything in :func:`export_fast` plus Figures 8b, 9, 10, 11."""
-    doc = export_fast()
-    doc["figure8b"] = microbench.figure8b_levels()
-    comparisons = appbench.figure9(scale=scale)
+    runner = runner or PointRunner()
+    doc = export_fast(runner=runner)
+    doc["figure8b"] = microbench.figure8b_levels(runner=runner)
+    comparisons = appbench.figure9(scale=scale, runner=runner)
     doc["figure9"] = {
         app: {
             "speedup": round(comp.speedup, 3),
@@ -73,14 +102,18 @@ def export_full(scale: float = 0.5, intervals: int = 1) -> dict[str, Any]:
         }
         for app, comp in comparisons.items()
     }
-    doc["figure10"] = checkpointbench.figure10_overheads(intervals=intervals)
-    doc["figure11"] = checkpointbench.figure11_energy(intervals=intervals)
+    doc["figure10"] = checkpointbench.figure10_overheads(intervals=intervals,
+                                                         runner=runner)
+    doc["figure11"] = checkpointbench.figure11_energy(intervals=intervals,
+                                                      runner=runner)
     return doc
 
 
-def write_results(path: str, full: bool = False, **kwargs) -> dict[str, Any]:
+def write_results(path: str, full: bool = False,
+                  runner: PointRunner | None = None, **kwargs) -> dict[str, Any]:
     """Export and write to ``path``; returns the document."""
-    doc = export_full(**kwargs) if full else export_fast()
+    doc = (export_full(runner=runner, **kwargs) if full
+           else export_fast(runner=runner))
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=1, sort_keys=True, default=float)
     return doc

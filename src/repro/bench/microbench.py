@@ -28,9 +28,31 @@ from ..energy.tables import (
 )
 from ..machine import ComputeCacheMachine
 from ..params import MachineConfig, sandybridge_8core, validate_table3
+from .points import measurement_from_point
+from .runner import Point, PointRunner
 
 KERNELS = ("copy", "compare", "search", "logical")
 OPERAND_BYTES = 4096
+
+
+def _resolve_runner(runner: PointRunner | None) -> PointRunner:
+    """Default runner: serial, uncached — same behavior as the historical
+    inline loops.  Pass an explicit :class:`~repro.bench.runner.PointRunner`
+    (the CLI does) for parallelism and cached results."""
+    return runner if runner is not None else PointRunner()
+
+
+def kernel_point_spec(kernel: str, config: str, size: int,
+                      level: str = "L3",
+                      machine: dict | None = None) -> Point:
+    """The :class:`~repro.bench.runner.Point` descriptor for one
+    (kernel, configuration) micro-benchmark cell."""
+    kwargs: dict = {"kernel": kernel, "config": config, "size": size,
+                    "level": level}
+    if machine is not None:
+        kwargs["machine"] = machine
+    return Point("kernel", kwargs,
+                 label=f"{kernel}/{config}@{level}/{size}B")
 
 
 @dataclass
@@ -169,14 +191,16 @@ def run_kernel(kernel: str, config: str, size: int = OPERAND_BYTES,
 # -- Figure 7: throughput + dynamic + total energy, Base_32 vs CC_L3 ------------------
 
 
-def figure7(size: int = OPERAND_BYTES) -> dict[str, dict[str, KernelMeasurement]]:
+def figure7(size: int = OPERAND_BYTES,
+            runner: PointRunner | None = None) -> dict[str, dict[str, KernelMeasurement]]:
     """All four kernels in Base_32 and CC_L3 (Figures 7a, 7b, 7c)."""
+    runner = _resolve_runner(runner)
+    cells = [(kernel, config) for kernel in KERNELS
+             for config in ("base32", "cc")]
+    docs = runner.run([kernel_point_spec(k, c, size) for k, c in cells])
     out: dict[str, dict[str, KernelMeasurement]] = {}
-    for kernel in KERNELS:
-        out[kernel] = {
-            "base32": run_kernel(kernel, "base32", size),
-            "cc": run_kernel(kernel, "cc", size),
-        }
+    for (kernel, config), doc in zip(cells, docs):
+        out.setdefault(kernel, {})[config] = measurement_from_point(doc)
     return out
 
 
@@ -201,28 +225,40 @@ def figure7_summary(results: dict[str, dict[str, KernelMeasurement]]) -> dict[st
 # -- Figure 8(a): in-place vs near-place -----------------------------------------------
 
 
-def figure8a_inplace_vs_nearplace(size: int = OPERAND_BYTES) -> dict[str, dict[str, KernelMeasurement]]:
+def figure8a_inplace_vs_nearplace(size: int = OPERAND_BYTES,
+                                  runner: PointRunner | None = None,
+                                  ) -> dict[str, dict[str, KernelMeasurement]]:
+    runner = _resolve_runner(runner)
+    cells = [(kernel, config) for kernel in KERNELS
+             for config in ("cc", "cc_near")]
+    docs = runner.run([kernel_point_spec(k, c, size) for k, c in cells])
     out: dict[str, dict[str, KernelMeasurement]] = {}
-    for kernel in KERNELS:
-        out[kernel] = {
-            "inplace": run_kernel(kernel, "cc", size),
-            "nearplace": run_kernel(kernel, "cc_near", size),
-        }
+    for (kernel, config), doc in zip(cells, docs):
+        key = "inplace" if config == "cc" else "nearplace"
+        out.setdefault(kernel, {})[key] = measurement_from_point(doc)
     return out
 
 
 # -- Figure 8(b): savings by compute level ----------------------------------------------
 
 
-def figure8b_levels(size: int = OPERAND_BYTES) -> dict[str, dict[str, dict[str, float]]]:
+def figure8b_levels(size: int = OPERAND_BYTES,
+                    runner: PointRunner | None = None,
+                    ) -> dict[str, dict[str, dict[str, float]]]:
     """Dynamic-energy savings of CC vs Base_32 with operands resident at
     each cache level; per-component savings in pJ (Figure 8(b)'s bars)."""
+    runner = _resolve_runner(runner)
+    cells = [(kernel, level, config) for kernel in KERNELS
+             for level in ("L3", "L2", "L1") for config in ("base32", "cc")]
+    docs = runner.run([kernel_point_spec(k, c, size, level=lvl)
+                       for k, lvl, c in cells])
+    meas = {cell: measurement_from_point(doc) for cell, doc in zip(cells, docs)}
     out: dict[str, dict[str, dict[str, float]]] = {}
     for kernel in KERNELS:
         out[kernel] = {}
         for level in ("L3", "L2", "L1"):
-            base = run_kernel(kernel, "base32", size, level=level)
-            cc = run_kernel(kernel, "cc", size, level=level)
+            base = meas[(kernel, level, "base32")]
+            cc = meas[(kernel, level, "cc")]
             out[kernel][level] = {
                 "savings_by_component": cc.dynamic.diff(base.dynamic),
                 "total_savings_pj": base.dynamic.total() - cc.dynamic.total(),
@@ -234,12 +270,17 @@ def figure8b_levels(size: int = OPERAND_BYTES) -> dict[str, dict[str, dict[str, 
 # -- Figure 3 (top): energy proportions for bulk compare ----------------------------------
 
 
-def figure3_energy_proportions(size: int = OPERAND_BYTES) -> dict[str, dict[str, float]]:
+def figure3_energy_proportions(size: int = OPERAND_BYTES,
+                               runner: PointRunner | None = None,
+                               ) -> dict[str, dict[str, float]]:
     """Core vs data-movement dynamic-energy split for a bulk compare on a
     scalar core, a SIMD core, and a Compute Cache."""
+    runner = _resolve_runner(runner)
+    configs = ("scalar", "base32", "cc")
+    docs = runner.run([kernel_point_spec("compare", c, size) for c in configs])
     out = {}
-    for config in ("scalar", "base32", "cc"):
-        meas = run_kernel("compare", config, size)
+    for config, doc in zip(configs, docs):
+        meas = measurement_from_point(doc)
         total = meas.dynamic.total()
         out[config] = {
             "core_fraction": meas.dynamic.core() / total,

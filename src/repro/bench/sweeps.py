@@ -10,6 +10,11 @@ design space around that point:
   hundreds of sub-arrays per LLC;
 * :func:`wordline_activation_sweep` - circuit headroom: multi-row
   activation up to the 64-word-line limit Jeloka et al. demonstrated.
+
+The two simulation-backed sweeps (operand size, partition parallelism)
+submit their grid through :mod:`repro.bench.runner` — pass ``runner=``
+for parallel/cached execution; the analytic sweeps (word-line, NoC) run
+inline since each costs microseconds.
 """
 
 from __future__ import annotations
@@ -18,20 +23,25 @@ from dataclasses import replace
 
 import numpy as np
 
+from ..config_io import config_to_dict
 from ..errors import ActivationLimitError
 from ..params import CacheLevelConfig, MachineConfig, sandybridge_8core
 from ..sram import BitCellArray
-from .microbench import run_kernel
+from .microbench import _resolve_runner, kernel_point_spec
+from .points import measurement_from_point
 
 
 def operand_size_sweep(kernel: str = "logical",
                        sizes: tuple[int, ...] = (64, 256, 1024, 4096, 16384),
-                       ) -> list[dict[str, float]]:
+                       runner=None) -> list[dict[str, float]]:
     """CC-vs-Base_32 gain as a function of operand size."""
+    runner = _resolve_runner(runner)
+    docs = runner.run([kernel_point_spec(kernel, config, size)
+                       for size in sizes for config in ("base32", "cc")])
     rows = []
-    for size in sizes:
-        base = run_kernel(kernel, "base32", size)
-        cc = run_kernel(kernel, "cc", size)
+    for i, size in enumerate(sizes):
+        base = measurement_from_point(docs[2 * i])
+        cc = measurement_from_point(docs[2 * i + 1])
         rows.append({
             "size": size,
             "base32_cycles": base.cycles,
@@ -46,13 +56,17 @@ def partition_parallelism_sweep(
     kernel: str = "copy",
     bps_options: tuple[int, ...] = (1, 2, 4),
     size: int = 4096,
+    runner=None,
 ) -> list[dict[str, float]]:
     """In-place makespan vs the number of block partitions per bank.
 
     More partitions = more sub-arrays computing concurrently; with few
     partitions the per-partition serial chain (14 cycles per op) dominates.
+    Each machine variant is one runner point whose cache key covers the
+    modified config document.
     """
-    rows = []
+    runner = _resolve_runner(runner)
+    variants = []
     for bps in bps_options:
         base_cfg = sandybridge_8core()
         l3 = CacheLevelConfig(
@@ -60,8 +74,14 @@ def partition_parallelism_sweep(
             ways=base_cfg.l3_slice.ways, banks=base_cfg.l3_slice.banks,
             bps_per_bank=bps, hit_latency=base_cfg.l3_slice.hit_latency,
         )
-        cfg = replace(base_cfg, l3_slice=l3)
-        cc = run_kernel(kernel, "cc", size, machine_config=cfg)
+        variants.append((bps, l3, replace(base_cfg, l3_slice=l3)))
+    docs = runner.run([
+        kernel_point_spec(kernel, "cc", size, machine=config_to_dict(cfg))
+        for _, _, cfg in variants
+    ])
+    rows = []
+    for (bps, l3, _), doc in zip(variants, docs):
+        cc = measurement_from_point(doc)
         rows.append({
             "bps_per_bank": bps,
             "partitions": l3.num_partitions,

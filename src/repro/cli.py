@@ -8,10 +8,17 @@ Usage::
     python -m repro fig9 --scale 0.5 # applications (Fig 9a-b)
     python -m repro fig10            # checkpoint overheads
     python -m repro fig11            # checkpoint energy
+    python -m repro sweeps           # design-space sweeps around 4 KB
     python -m repro tables           # Tables I, III, V
     python -m repro demo             # quickstart walkthrough
+    python -m repro export --full --jobs 4
+                                     # machine-readable results JSON
     python -m repro profile t.trace --chrome-trace t.json
                                      # cycle-attribution profile of a trace
+
+The figure, sweep, and export commands take ``--jobs N`` (process-pool
+parallelism), ``--no-cache``, and ``--cache-dir`` — see
+``docs/benchmarks.md`` for the runner architecture and cache semantics.
 """
 
 from __future__ import annotations
@@ -20,6 +27,20 @@ import argparse
 import sys
 
 from .params import BACKENDS
+
+
+def _runner_from(args):
+    """Build the sweep runner a figure/export command was asked for."""
+    from .bench.runner import PointRunner
+
+    return PointRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache)
+
+
+def _finish_runner(runner) -> None:
+    """The post-command cache-stats footer (grepped by CI)."""
+    print()
+    print(runner.stats.line())
 
 
 def _cmd_tables(_args) -> None:
@@ -48,19 +69,23 @@ def _cmd_fig7(args) -> None:
     from .bench.microbench import figure7, figure7_summary
     from .bench.report import render_figure7
 
-    results = figure7(size=args.size)
+    runner = _runner_from(args)
+    results = figure7(size=args.size, runner=runner)
     print(render_figure7(results))
     print()
     for key, value in figure7_summary(results).items():
         print(f"  {key}: {value:.2f}")
+    _finish_runner(runner)
 
 
 def _cmd_fig8(args) -> None:
     from .bench.microbench import figure8a_inplace_vs_nearplace, figure8b_levels
     from .bench.report import render_table
 
+    runner = _runner_from(args)
     rows = []
-    for kernel, pair in figure8a_inplace_vs_nearplace(args.size).items():
+    for kernel, pair in figure8a_inplace_vs_nearplace(args.size,
+                                                      runner=runner).items():
         rows.append({
             "kernel": kernel,
             "in-place nJ": pair["inplace"].total_energy_nj,
@@ -73,7 +98,7 @@ def _cmd_fig8(args) -> None:
     print(render_table(rows, "Figure 8(a): in-place vs near-place"))
     print()
     rows = []
-    for kernel, levels in figure8b_levels(args.size).items():
+    for kernel, levels in figure8b_levels(args.size, runner=runner).items():
         for level, d in levels.items():
             rows.append({
                 "kernel": kernel, "level": level,
@@ -81,31 +106,65 @@ def _cmd_fig8(args) -> None:
                 "savings fraction": d["savings_fraction"],
             })
     print(render_table(rows, "Figure 8(b): dynamic-energy savings by level"))
+    _finish_runner(runner)
 
 
 def _cmd_fig9(args) -> None:
     from .bench.appbench import figure9
     from .bench.report import render_figure9
 
-    print(render_figure9(figure9(scale=args.scale)))
+    runner = _runner_from(args)
+    print(render_figure9(figure9(scale=args.scale, runner=runner)))
+    _finish_runner(runner)
 
 
 def _cmd_fig10(args) -> None:
     from .bench.checkpointbench import figure10_overheads, summarize_overheads
     from .bench.report import render_figure10
 
-    overheads = figure10_overheads(intervals=args.intervals)
+    runner = _runner_from(args)
+    overheads = figure10_overheads(intervals=args.intervals, runner=runner)
     print(render_figure10(overheads))
     print()
     for key, value in summarize_overheads(overheads).items():
         print(f"  {key}: {value:.1%}")
+    _finish_runner(runner)
 
 
 def _cmd_fig11(args) -> None:
     from .bench.checkpointbench import figure11_energy
     from .bench.report import render_figure11
 
-    print(render_figure11(figure11_energy(intervals=args.intervals)))
+    runner = _runner_from(args)
+    print(render_figure11(figure11_energy(intervals=args.intervals,
+                                          runner=runner)))
+    _finish_runner(runner)
+
+
+def _cmd_sweeps(args) -> None:
+    from .bench.report import render_table
+    from .bench.runner import format_runner_profile
+    from .bench.sweeps import (
+        noc_distance_sweep,
+        operand_size_sweep,
+        partition_parallelism_sweep,
+        wordline_activation_sweep,
+    )
+
+    runner = _runner_from(args)
+    print(render_table(operand_size_sweep(kernel=args.kernel, runner=runner),
+                       f"Operand-size sweep ({args.kernel})"))
+    print()
+    print(render_table(partition_parallelism_sweep(runner=runner),
+                       "Partition-parallelism sweep (copy)"))
+    print()
+    print(render_table(wordline_activation_sweep(),
+                       "Word-line activation sweep"))
+    print()
+    print(render_table(noc_distance_sweep(), "NoC distance sweep"))
+    print()
+    print(format_runner_profile(runner.tracer))
+    _finish_runner(runner)
 
 
 def _cmd_demo(args) -> None:
@@ -164,10 +223,12 @@ def _cmd_validate(args) -> None:
 def _cmd_export(args) -> None:
     from .bench.export import write_results
 
-    doc = write_results(args.out, full=args.full)
+    runner = _runner_from(args)
+    doc = write_results(args.out, full=args.full, runner=runner)
     exhibits = [k for k in doc if k.startswith(("table", "figure"))]
     print(f"wrote {args.out}: {len(exhibits)} exhibits, "
           f"validation_ok={doc['validation_ok']}")
+    _finish_runner(runner)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -177,29 +238,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    runner_args = argparse.ArgumentParser(add_help=False)
+    runner_args.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate points on N worker processes (default 1 = serial)")
+    runner_args.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache")
+    runner_args.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="result-cache directory (default .repro-cache)")
+
     sub.add_parser("tables", help="Tables I, III, V").set_defaults(fn=_cmd_tables)
     sub.add_parser("fig3", help="Figure 3 energy proportions").set_defaults(fn=_cmd_fig3)
 
-    p7 = sub.add_parser("fig7", help="Figure 7 micro-benchmarks")
+    p7 = sub.add_parser("fig7", help="Figure 7 micro-benchmarks",
+                        parents=[runner_args])
     p7.add_argument("--size", type=int, default=4096, help="operand bytes")
     p7.set_defaults(fn=_cmd_fig7)
 
-    p8 = sub.add_parser("fig8", help="Figure 8 in/near-place + levels")
+    p8 = sub.add_parser("fig8", help="Figure 8 in/near-place + levels",
+                        parents=[runner_args])
     p8.add_argument("--size", type=int, default=4096)
     p8.set_defaults(fn=_cmd_fig8)
 
-    p9 = sub.add_parser("fig9", help="Figure 9 applications")
+    p9 = sub.add_parser("fig9", help="Figure 9 applications",
+                        parents=[runner_args])
     p9.add_argument("--scale", type=float, default=0.5,
                     help="workload scale factor (1.0 = bench scale)")
     p9.set_defaults(fn=_cmd_fig9)
 
-    p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads")
+    p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads",
+                         parents=[runner_args])
     p10.add_argument("--intervals", type=int, default=1)
     p10.set_defaults(fn=_cmd_fig10)
 
-    p11 = sub.add_parser("fig11", help="Figure 11 checkpoint energy")
+    p11 = sub.add_parser("fig11", help="Figure 11 checkpoint energy",
+                         parents=[runner_args])
     p11.add_argument("--intervals", type=int, default=1)
     p11.set_defaults(fn=_cmd_fig11)
+
+    psw = sub.add_parser(
+        "sweeps", help="design-space sweeps around the 4 KB operating point",
+        parents=[runner_args])
+    psw.add_argument("--kernel", default="logical",
+                     help="kernel for the operand-size sweep")
+    psw.set_defaults(fn=_cmd_sweeps)
 
     pd = sub.add_parser("demo", help="quick CC walkthrough")
     pd.add_argument("--backend", choices=BACKENDS, default=None,
@@ -228,7 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="force the battery onto one execution backend")
     pv.set_defaults(fn=_cmd_validate)
 
-    pe = sub.add_parser("export", help="write machine-readable results JSON")
+    pe = sub.add_parser("export", help="write machine-readable results JSON",
+                        parents=[runner_args])
     pe.add_argument("--out", default="results.json")
     pe.add_argument("--full", action="store_true",
                     help="include Figures 8b/9/10/11 (minutes of simulation)")

@@ -12,6 +12,7 @@ JSON document and back, with full round-trip fidelity::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -43,9 +44,17 @@ def _dump(obj: Any, fields: tuple[str, ...]) -> dict[str, Any]:
 
 
 def config_to_dict(config: MachineConfig) -> dict[str, Any]:
-    """Serialize a machine configuration to plain data."""
+    """Serialize a machine configuration to plain data.
+
+    ``backend`` (the functional execution backend) is part of the
+    document; observability settings (``trace_events``,
+    ``event_buffer_capacity``) are deliberately *not* — they cannot change
+    simulation results, so two configs differing only in tracing
+    serialize (and hash, see :func:`config_digest`) identically.
+    """
     return {
         "schema": "repro.machine-config/1",
+        "backend": config.backend,
         "cores": config.cores,
         "l3_slices": config.l3_slices,
         "memory_size": config.memory_size,
@@ -66,8 +75,12 @@ def config_from_dict(doc: dict[str, Any]) -> MachineConfig:
     schema = doc.get("schema")
     if schema != "repro.machine-config/1":
         raise ConfigError(f"unsupported config schema {schema!r}")
+    extra: dict[str, Any] = {}
+    if "backend" in doc:
+        extra["backend"] = doc["backend"]
     try:
         return MachineConfig(
+            **extra,
             cores=doc["cores"],
             l3_slices=doc["l3_slices"],
             memory_size=doc["memory_size"],
@@ -89,6 +102,24 @@ def config_from_dict(doc: dict[str, Any]) -> MachineConfig:
 
 def config_to_json(config: MachineConfig, indent: int = 2) -> str:
     return json.dumps(config_to_dict(config), indent=indent, sort_keys=True)
+
+
+def canonical_json(doc: Any) -> str:
+    """Deterministic minimal JSON encoding (sorted keys, no whitespace) —
+    the form hashed by :func:`config_digest` and the sweep runner's
+    result-cache keys."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), default=float)
+
+
+def config_digest(config: MachineConfig) -> str:
+    """Content hash of a machine configuration.
+
+    Stable across processes and Python versions (it hashes the canonical
+    JSON serialization, not ``repr``); used by
+    :mod:`repro.bench.runner` as the ``config`` component of a simulation
+    point's cache key.
+    """
+    return hashlib.sha256(canonical_json(config_to_dict(config)).encode()).hexdigest()
 
 
 def config_from_json(text: str) -> MachineConfig:

@@ -75,3 +75,7 @@ class ECCError(ReproError):
 
 class ISAError(ReproError):
     """A CC instruction is malformed (bad opcode, size, or alignment)."""
+
+
+class RunnerError(ReproError):
+    """A benchmark simulation point failed inside the sweep runner."""

@@ -90,9 +90,22 @@ class TestCLI:
     def test_parser_subcommands(self):
         parser = build_parser()
         for command in ("tables", "fig3", "fig7", "fig8", "fig9", "fig10",
-                        "fig11", "demo"):
+                        "fig11", "sweeps", "demo"):
             args = parser.parse_args([command])
             assert callable(args.fn)
+
+    def test_runner_flags_on_figure_and_export_commands(self):
+        parser = build_parser()
+        for command in ("fig7", "fig8", "fig9", "fig10", "fig11", "sweeps",
+                        "export"):
+            args = parser.parse_args([command, "--jobs", "3", "--no-cache",
+                                      "--cache-dir", "/tmp/cc-cache"])
+            assert args.jobs == 3
+            assert args.no_cache is True
+            assert args.cache_dir == "/tmp/cc-cache"
+        defaults = parser.parse_args(["fig7"])
+        assert defaults.jobs == 1 and defaults.no_cache is False
+        assert defaults.cache_dir == ".repro-cache"
 
     def test_tables_command_runs(self, capsys):
         assert main(["tables"]) == 0

@@ -20,6 +20,19 @@ class TestResultsExport:
         assert doc["schema"] == "repro.results/1"
         assert doc["validation_ok"] is True
 
+    def test_provenance_header(self, doc):
+        """Backend + git/seed provenance distinguish cached vs fresh trees."""
+        from repro.bench.points import WORKLOAD_SEEDS
+        from repro.bench.runner import code_fingerprint
+
+        prov = doc["provenance"]
+        assert prov["backend"] == "packed"
+        assert prov["code_version"] == code_fingerprint()
+        assert prov["workload_seeds"] == WORKLOAD_SEEDS
+        # git_commit is a hex hash (with optional -dirty) or None outside git.
+        commit = prov["git_commit"]
+        assert commit is None or len(commit.split("-")[0]) == 40
+
     def test_machine_config_embedded(self, doc):
         from repro.config_io import config_from_dict
         from repro.params import sandybridge_8core
@@ -63,7 +76,8 @@ class TestDocumentationConsistency:
     @pytest.mark.parametrize("doc_name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/isa.md", "docs/modeling.md",
-        "docs/api.md",
+        "docs/api.md", "docs/profiling.md", "docs/benchmarks.md",
+        "benchmarks/README.md",
     ])
     def test_referenced_files_exist(self, doc_name):
         doc = REPO / doc_name

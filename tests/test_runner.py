@@ -1,0 +1,246 @@
+"""Tests of the parallel sweep/figure execution engine (repro.bench.runner):
+cache hit/miss semantics, timeout -> retry -> serial-fallback, degraded
+(pool-less) execution, and parallel-vs-serial determinism."""
+
+import json
+
+import pytest
+
+from repro.bench import runner as runner_mod
+from repro.bench.microbench import figure7, kernel_point_spec
+from repro.bench.runner import (
+    Point,
+    PointRunner,
+    ResultCache,
+    code_fingerprint,
+    format_runner_profile,
+    point_key,
+    runner_wall_profile,
+)
+from repro.config_io import config_digest, config_from_dict, config_to_dict
+from repro.errors import RunnerError
+from repro.params import sandybridge_8core, small_test_machine
+
+SMALL = lambda: config_to_dict(small_test_machine())  # noqa: E731
+
+
+def small_kernel_point(kernel="copy", config="cc", size=512):
+    return kernel_point_spec(kernel, config, size, machine=SMALL())
+
+
+class TestCacheKeys:
+    def test_key_is_deterministic_and_sensitive(self):
+        key = point_key("kernel", {"kernel": "copy"}, "packed", "abc")
+        assert key == point_key("kernel", {"kernel": "copy"}, "packed", "abc")
+        assert key != point_key("kernel", {"kernel": "cmp"}, "packed", "abc")
+        assert key != point_key("kernel", {"kernel": "copy"}, "bitexact", "abc")
+        assert key != point_key("kernel", {"kernel": "copy"}, "packed", "xyz")
+        assert key != point_key("app", {"kernel": "copy"}, "packed", "abc")
+
+    def test_key_ignores_kwarg_ordering(self):
+        assert point_key("f", {"a": 1, "b": 2}, "packed", "v") == \
+            point_key("f", {"b": 2, "a": 1}, "packed", "v")
+
+    def test_code_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 20
+
+    def test_config_digest_covers_backend_and_geometry(self):
+        base = sandybridge_8core()
+        assert config_digest(base) == config_digest(sandybridge_8core())
+        from dataclasses import replace
+
+        assert config_digest(base) != config_digest(replace(base, cores=4))
+        assert config_digest(base) != \
+            config_digest(replace(base, backend="bitexact"))
+        # Observability settings must NOT change the digest.
+        assert config_digest(base) == \
+            config_digest(replace(base, trace_events=True))
+
+    def test_config_roundtrip_preserves_backend(self):
+        from dataclasses import replace
+
+        cfg = replace(small_test_machine(), backend="bitexact")
+        doc = config_to_dict(cfg)
+        assert doc["backend"] == "bitexact"
+        assert config_from_dict(doc).backend == "bitexact"
+
+
+class TestCacheHitMiss:
+    def test_second_run_hits_config_change_misses(self, tmp_path):
+        r1 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [first] = r1.run([small_kernel_point()])
+        assert r1.stats.computed == 1 and r1.stats.cache_hits == 0
+
+        r2 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [second] = r2.run([small_kernel_point()])
+        assert r2.stats.cache_hits == 1 and r2.stats.computed == 0
+        assert second == first
+
+        # Changing the machine config (or any kwarg) is a miss.
+        doc = SMALL()
+        doc["cc"]["inplace_latency"] += 1
+        r3 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        r3.run([kernel_point_spec("copy", "cc", 512, machine=doc)])
+        assert r3.stats.cache_hits == 0 and r3.stats.computed == 1
+
+    def test_code_version_change_invalidates(self, tmp_path, monkeypatch):
+        r1 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        r1.run([small_kernel_point()])
+        monkeypatch.setattr(runner_mod, "_CODE_FINGERPRINT", "deadbeef")
+        r2 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        r2.run([small_kernel_point()])
+        assert r2.stats.cache_hits == 0 and r2.stats.computed == 1
+
+    def test_corrupt_cache_file_is_a_miss(self, tmp_path):
+        r1 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [result] = r1.run([small_kernel_point()])
+        entries = list(tmp_path.glob("*.json"))
+        assert len(entries) == 1
+        entries[0].write_text("{not json", encoding="utf-8")
+        r2 = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [again] = r2.run([small_kernel_point()])
+        assert r2.stats.cache_hits == 0 and r2.stats.computed == 1
+        assert again == result
+
+    def test_cache_envelope_carries_provenance(self, tmp_path):
+        runner = PointRunner(cache_dir=tmp_path, use_cache=True)
+        runner.run([small_kernel_point()])
+        envelope = json.loads(next(tmp_path.glob("*.json")).read_text())
+        assert envelope["schema"] == "repro.point-result/1"
+        assert envelope["fn"] == "kernel"
+        assert envelope["backend"] == "packed"
+        assert envelope["code_version"] == code_fingerprint()
+
+    def test_no_cache_never_touches_disk(self, tmp_path):
+        runner = PointRunner(cache_dir=tmp_path / "cache", use_cache=False)
+        runner.run([small_kernel_point()])
+        assert not (tmp_path / "cache").exists()
+
+    def test_within_batch_deduplication(self):
+        runner = PointRunner()
+        a, b = runner.run([small_kernel_point(), small_kernel_point()])
+        assert a == b
+        assert runner.stats.computed == 1
+        assert runner.stats.deduplicated == 1
+
+
+class TestDeterminism:
+    def test_parallel_results_bit_identical_to_serial(self):
+        points = [small_kernel_point(k, c)
+                  for k in ("copy", "compare", "search", "logical")
+                  for c in ("base32", "cc")]
+        serial = PointRunner(jobs=1).run(points)
+        parallel = PointRunner(jobs=4).run(points)
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+
+    def test_cached_results_bit_identical_to_fresh(self, tmp_path):
+        points = [small_kernel_point("copy"), small_kernel_point("search")]
+        fresh = PointRunner(cache_dir=tmp_path, use_cache=True).run(points)
+        cached = PointRunner(cache_dir=tmp_path, use_cache=True).run(points)
+        assert json.dumps(fresh, sort_keys=True) == \
+            json.dumps(cached, sort_keys=True)
+
+    def test_figure7_parallel_matches_serial(self):
+        serial = figure7(size=512, runner=PointRunner(jobs=1))
+        parallel = figure7(size=512, runner=PointRunner(jobs=2))
+        for kernel, pair in serial.items():
+            for config, meas in pair.items():
+                other = parallel[kernel][config]
+                assert other == meas
+
+
+class TestFailureHandling:
+    def test_timeout_retry_then_serial_fallback(self):
+        runner = PointRunner(jobs=2, timeout_s=0.2, retries=1)
+        point = Point("selftest", {"value": 7, "sleep_in_worker_s": 30.0},
+                      label="sleepy")
+        [result] = runner.run([point])
+        assert result == {"doubled": 14, "value": 7}
+        assert runner.stats.timeouts == 2          # initial + one retry
+        assert runner.stats.retries == 1
+        assert runner.stats.serial_fallbacks == 1
+        phases = [e.phase for e in runner.tracer.by_kind("runner.point")]
+        assert phases == ["timeout", "retry", "timeout", "serial-fallback"]
+
+    def test_pool_unavailable_degrades_to_serial(self, monkeypatch):
+        def broken_pool(workers):
+            raise OSError("no multiprocessing here")
+
+        monkeypatch.setattr(PointRunner, "_make_pool",
+                            staticmethod(broken_pool))
+        runner = PointRunner(jobs=4)
+        results = runner.run([Point("selftest", {"value": v})
+                              for v in (1, 2, 3)])
+        assert [r["doubled"] for r in results] == [2, 4, 6]
+        assert runner.stats.computed == 3
+        assert any(e.outcome == "pool-unavailable"
+                   for e in runner.tracer.by_kind("runner.point"))
+
+    def test_point_failure_raises_runner_error(self):
+        runner = PointRunner()
+        with pytest.raises(RunnerError, match="selftest"):
+            runner.run([Point("selftest", {"fail": True})])
+        assert runner.stats.failures == 1
+
+    def test_point_failure_in_pool_raises_runner_error(self):
+        runner = PointRunner(jobs=2)
+        with pytest.raises(RunnerError):
+            runner.run([Point("selftest", {"fail": True}),
+                        Point("selftest", {"value": 1})])
+
+    def test_unknown_point_function(self):
+        with pytest.raises(RunnerError, match="unknown point function"):
+            PointRunner().run([Point("no-such-fn", {})])
+
+    def test_invalid_construction(self):
+        with pytest.raises(RunnerError):
+            PointRunner(jobs=0)
+        with pytest.raises(RunnerError):
+            PointRunner(retries=-1)
+
+
+class TestReporting:
+    def test_stats_line_is_parseable(self):
+        runner = PointRunner()
+        runner.run([Point("selftest", {"value": 1})])
+        line = runner.stats.line()
+        assert line.startswith("cache-stats: ")
+        fields = dict(part.split("=") for part in line.split()[1:])
+        assert fields["points"] == "1"
+        assert fields["computed"] == "1"
+        assert fields["hit_rate"] == "0.0%"
+
+    def test_wall_profile_folds_events(self, tmp_path):
+        runner = PointRunner(cache_dir=tmp_path, use_cache=True)
+        runner.run([Point("selftest", {"value": 1})])
+        runner.run([Point("selftest", {"value": 1})])
+        profile = runner_wall_profile(runner.tracer)
+        assert profile["computed"]["count"] == 1
+        assert profile["cache-hit"]["count"] == 1
+        text = format_runner_profile(runner.tracer)
+        assert "computed" in text and "cache-hit" in text
+
+    def test_batch_event_emitted(self):
+        runner = PointRunner()
+        runner.run([Point("selftest", {"value": 1})])
+        batches = runner.tracer.by_kind("runner.batch")
+        assert len(batches) == 1 and batches[0].reason == "1 points"
+
+
+class TestResultCacheUnit:
+    def test_load_missing_is_none(self, tmp_path):
+        assert ResultCache(tmp_path).load("0" * 64) is None
+
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = Point("selftest", {"value": 3})
+        cache.store("k" * 64, point, "packed", "v1", {"value": 3})
+        assert cache.load("k" * 64) == {"value": 3}
+
+    def test_schema_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / ("s" * 64 + ".json")).write_text(
+            json.dumps({"schema": "other/1", "result": 1}))
+        assert cache.load("s" * 64) is None
