@@ -12,8 +12,7 @@ Run:  python examples/bitmap_analytics.py
 
 import numpy as np
 
-from repro.apps import bitmap_db
-from repro.apps.common import fresh_machine
+from repro.api import bitmap_db, fresh_machine
 
 
 def main() -> None:

@@ -16,8 +16,7 @@ Run:  python examples/bmm_crypto.py
 
 import numpy as np
 
-from repro.apps import bmm
-from repro.apps.common import fresh_machine
+from repro.api import bmm, fresh_machine
 
 
 def demo_multiply(n: int = 128) -> None:

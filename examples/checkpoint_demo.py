@@ -10,8 +10,7 @@ sub-arrays - no L1/L2 pollution, no core involvement.
 Run:  python examples/checkpoint_demo.py
 """
 
-from repro.apps.checkpoint import run_checkpoint
-from repro.apps.splash import PROFILES, SplashProfile
+from repro.api import PROFILES, SplashProfile, run_checkpoint
 
 
 def main() -> None:

@@ -10,12 +10,14 @@ Run:  python examples/custom_machine.py
 
 import numpy as np
 
-from repro import ComputeCacheMachine, cc_ops
-from repro.config_io import config_from_json, config_to_json
-from repro.params import (
+from repro.api import (
     CacheLevelConfig,
+    ComputeCacheMachine,
     MachineConfig,
     RingConfig,
+    cc_ops,
+    config_from_json,
+    config_to_json,
     sandybridge_8core,
 )
 

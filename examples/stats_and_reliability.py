@@ -7,11 +7,16 @@ Run:  python examples/stats_and_reliability.py
 
 import numpy as np
 
-from repro import ComputeCacheMachine, cc_ops
-from repro.core.scrub import ScrubService
-from repro.errors import DataCorruptionError
-from repro.sram import BitCellArray, CellType
-from repro.stats import collect_stats, format_stats
+from repro.api import (
+    BitCellArray,
+    CellType,
+    ComputeCacheMachine,
+    DataCorruptionError,
+    ScrubService,
+    cc_ops,
+    collect_stats,
+    format_stats,
+)
 
 
 def demo_stats() -> None:

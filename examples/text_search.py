@@ -10,8 +10,7 @@ Python references.
 Run:  python examples/text_search.py
 """
 
-from repro.apps import stringmatch, textgen, wordcount
-from repro.apps.common import fresh_machine
+from repro.api import fresh_machine, stringmatch, textgen, wordcount
 
 
 def demo_wordcount() -> None:

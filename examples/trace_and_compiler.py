@@ -14,11 +14,15 @@ Run:  python examples/trace_and_compiler.py
 
 import numpy as np
 
-from repro import ComputeCacheMachine
-from repro.asm import format_instruction, parse
-from repro.compiler import VectorCompiler, compile_and_run
-from repro.core.isa import Opcode
-from repro.trace import run_trace
+from repro.api import (
+    ComputeCacheMachine,
+    Opcode,
+    VectorCompiler,
+    compile_and_run,
+    format_instruction,
+    parse,
+    run_trace,
+)
 
 
 def demo_assembler() -> None:
@@ -71,7 +75,7 @@ def demo_compiler() -> None:
 
     print("\n  ...and the diagnosis a bad layout would get:")
     compiler = VectorCompiler(machine.config)
-    from repro.compiler import ArrayRef
+    from repro.api import ArrayRef
 
     bad = compiler.compile_elementwise(
         Opcode.AND,

@@ -44,10 +44,12 @@ __version__ = "1.0.0"
 __all__ = [
     "Arena",
     "SuperpageArena",
+    "api",
     "cc_ops",
     "CCResult",
     "ComputeCacheController",
     "CCInstruction",
+    "FaultPlan",
     "Opcode",
     "ReproError",
     "ComputeCacheMachine",
@@ -55,3 +57,21 @@ __all__ = [
     "sandybridge_8core",
     "small_test_machine",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy so that ``import repro`` stays light: the façade pulls in the
+    # bench runner, the fault subsystem, and the application suite.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module(".api", __name__)
+    if name == "faults":
+        import importlib
+
+        return importlib.import_module(".faults", __name__)
+    if name == "FaultPlan":
+        from .faults.plan import FaultPlan
+
+        return FaultPlan
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

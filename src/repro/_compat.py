@@ -1,0 +1,63 @@
+"""Deprecation shims for deep-import paths superseded by :mod:`repro.api`.
+
+:func:`deprecate_deep_imports` marks a module's public symbols as
+reachable-but-deprecated: external code that imports them from the deep
+path (``from repro.params import MachineConfig``) gets a
+:class:`DeprecationWarning` pointing at the façade, while the import
+keeps working exactly as before.  Internal ``repro.*`` callers — and the
+import machinery acting on their behalf — are exempt, so the library
+never warns about its own layering.
+
+Implementation: the module's ``__class__`` is swapped to a
+:class:`types.ModuleType` subclass whose ``__getattribute__`` inspects
+the calling frame.  This catches *attribute* access on the module object
+(which is what both ``from mod import name`` and ``mod.name`` compile
+to), costs nothing on modules that are not shimmed, and — unlike a
+module-level ``__getattr__`` — also fires for names that really are
+defined in the module.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from types import ModuleType
+
+#: Top-level package names whose frames never trigger a warning: the
+#: library itself, and the import machinery (``_handle_fromlist`` probes
+#: package attributes from an importlib frame on behalf of whoever runs
+#: the import — the real caller is still checked by the bytecode-level
+#: getattr that follows).
+_EXEMPT_TOPLEVEL = frozenset({"repro", "importlib", "_frozen_importlib"})
+
+FACADE = "repro.api"
+
+
+class _DeprecatedAttrModule(ModuleType):
+    """Module type that warns on deep imports of façade symbols."""
+
+    def __getattribute__(self, name: str):
+        value = ModuleType.__getattribute__(self, name)
+        if name.startswith("_"):
+            return value
+        d = ModuleType.__getattribute__(self, "__dict__")
+        symbols = d.get("__deprecated_symbols__")
+        if symbols is None or name not in symbols:
+            return value
+        caller = sys._getframe(1).f_globals.get("__name__", "")
+        if caller.partition(".")[0] in _EXEMPT_TOPLEVEL:
+            return value
+        warnings.warn(
+            f"importing {name!r} from {d.get('__name__')!r} is deprecated; "
+            f"use 'from {FACADE} import {name}'",
+            DeprecationWarning, stacklevel=2,
+        )
+        return value
+
+
+def deprecate_deep_imports(module_name: str, symbols) -> None:
+    """Shim ``module_name``: deep imports of ``symbols`` warn, everything
+    else (and every ``repro.*``-internal access) stays silent."""
+    module = sys.modules[module_name]
+    module.__deprecated_symbols__ = frozenset(symbols)
+    module.__class__ = _DeprecatedAttrModule

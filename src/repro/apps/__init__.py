@@ -36,3 +36,11 @@ __all__ = [
     "run_bmm",
     "run_checkpoint",
 ]
+
+
+from .._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "bitmap_db", "bmm", "stringmatch", "textgen", "wordcount",
+    "checkpoint", "splash", "common",
+))

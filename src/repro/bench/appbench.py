@@ -15,7 +15,7 @@ reductions near the paper's 87% / 32% / 98% / 43%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..apps import bitmap_db, bmm, stringmatch, textgen, wordcount
 from ..apps.common import AppResult, fresh_machine
@@ -62,58 +62,77 @@ class AppComparison:
         return out_b == out_c
 
 
-def _compare(app: str, run_baseline, run_cc) -> AppComparison:
-    mb = fresh_machine(sandybridge_8core())
+def _compare(app: str, run_baseline, run_cc,
+             backend: str | None = None) -> AppComparison:
+    config = sandybridge_8core()
+    if backend is not None:
+        config = replace(config, backend=backend)
+    mb = fresh_machine(config)
     base = run_baseline(mb)
     base_total = mb.total_energy(base.energy, base.cycles).total
-    mc = fresh_machine(sandybridge_8core())
+    mc = fresh_machine(config)
     cc = run_cc(mc)
     cc_total = mc.total_energy(cc.energy, cc.cycles).total
     return AppComparison(app=app, baseline=base, cc=cc,
                          baseline_total_nj=base_total, cc_total_nj=cc_total)
 
 
-def bench_wordcount(n_words: int = 6000, vocab_size: int = 6000) -> AppComparison:
+def bench_wordcount(n_words: int = 6000, vocab_size: int = 6000,
+                    backend: str | None = None,
+                    seed: int | None = None) -> AppComparison:
     """Dictionary of ~6000 x 64 B = 384 KB: larger than L2, L3-resident -
     the paper's regime (719 KB dictionary)."""
-    corpus = textgen.zipf_corpus(101, n_words, vocab_size=vocab_size)
+    corpus = textgen.zipf_corpus(101 if seed is None else seed, n_words,
+                                 vocab_size=vocab_size)
     cfg = wordcount.WordCountConfig(n_bins=676, bin_capacity=16,
                                     dict_capacity=vocab_size + 64)
     return _compare(
         "wordcount",
         lambda m: wordcount.run_wordcount(corpus, "baseline", m, cfg),
         lambda m: wordcount.run_wordcount(corpus, "cc", m, cfg),
+        backend=backend,
     )
 
 
-def bench_stringmatch(n_words: int = 4096, n_keys: int = 4) -> AppComparison:
-    workload = stringmatch.make_workload(102, n_words, n_keys=n_keys,
+def bench_stringmatch(n_words: int = 4096, n_keys: int = 4,
+                      backend: str | None = None,
+                      seed: int | None = None) -> AppComparison:
+    workload = stringmatch.make_workload(102 if seed is None else seed,
+                                         n_words, n_keys=n_keys,
                                          vocab_size=1500)
     return _compare(
         "stringmatch",
         lambda m: stringmatch.run_stringmatch(workload, "baseline", m),
         lambda m: stringmatch.run_stringmatch(workload, "cc", m),
+        backend=backend,
     )
 
 
-def bench_bmm(n: int = 256) -> AppComparison:
+def bench_bmm(n: int = 256, backend: str | None = None,
+              seed: int | None = None) -> AppComparison:
     """The paper's 256 x 256 bit matrices."""
-    workload = bmm.make_matrices(103, n=n)
+    workload = bmm.make_matrices(103 if seed is None else seed, n=n)
     return _compare(
         "bmm",
         lambda m: bmm.run_bmm(workload, "baseline", m),
         lambda m: bmm.run_bmm(workload, "cc", m),
+        backend=backend,
     )
 
 
-def bench_bitmap(n_rows: int = 1 << 17, n_queries: int = 6) -> AppComparison:
+def bench_bitmap(n_rows: int = 1 << 17, n_queries: int = 6,
+                 backend: str | None = None,
+                 seed: int | None = None) -> AppComparison:
     """16 KB bins (hundreds of cache blocks), OR-heavy query mix."""
-    dataset = bitmap_db.make_dataset(104, n_rows=n_rows, cardinalities=(16, 8))
-    queries = bitmap_db.make_query_mix(dataset, 105, n_queries=n_queries)
+    dataset = bitmap_db.make_dataset(104 if seed is None else seed,
+                                     n_rows=n_rows, cardinalities=(16, 8))
+    queries = bitmap_db.make_query_mix(
+        dataset, 105 if seed is None else seed + 1, n_queries=n_queries)
     return _compare(
         "db-bitmap",
         lambda m: bitmap_db.run_bitmap_queries(dataset, queries, "baseline", m),
         lambda m: bitmap_db.run_bitmap_queries(dataset, queries, "cc", m),
+        backend=backend,
     )
 
 
@@ -136,7 +155,9 @@ class AppSummary:
     cc_total_nj: float
 
 
-def figure9(scale: float = 1.0, runner=None) -> dict[str, AppSummary]:
+def figure9(scale: float = 1.0, runner=None,
+            backend: str | None = None,
+            seed: int | None = None) -> dict[str, AppSummary]:
     """Figure 9 (a) and (b): all four applications, one runner point each
     (they simulate concurrently under ``--jobs``).
 
@@ -148,8 +169,13 @@ def figure9(scale: float = 1.0, runner=None) -> dict[str, AppSummary]:
     from .runner import Point
 
     runner = _resolve_runner(runner)
+    extra = {}
+    if backend is not None:
+        extra["backend"] = backend
+    if seed is not None:
+        extra["seed"] = seed
     docs = runner.run([
-        Point("app", {"app": app, "scale": scale}, label=f"fig9:{app}")
+        Point("app", {"app": app, "scale": scale, **extra}, label=f"fig9:{app}")
         for app in APPS
     ])
     return {doc["app"]: AppSummary(**doc) for doc in docs}

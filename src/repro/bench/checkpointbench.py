@@ -34,17 +34,18 @@ class CheckpointComparison:
         return m.total_energy(run.energy, run.total_cycles).total
 
 
-def run_benchmark(name: str, intervals: int = 2) -> CheckpointComparison:
+def run_benchmark(name: str, intervals: int = 2,
+                  backend: str | None = None) -> CheckpointComparison:
     prof = replace(PROFILES[name], intervals=intervals)
     runs = {}
     for engine in ("none",) + ENGINES:
-        m = ComputeCacheMachine(sandybridge_8core())
+        m = ComputeCacheMachine(sandybridge_8core(), backend=backend)
         runs[engine] = run_checkpoint(prof, engine, m)
     return CheckpointComparison(benchmark=name, runs=runs)
 
 
 def _checkpoint_points(intervals: int, benchmarks: tuple[str, ...],
-                       runner) -> list[dict]:
+                       runner, backend: str | None = None) -> list[dict]:
     """One ``checkpoint`` runner point per benchmark; each point carries
     both the Figure 10 overheads and the Figure 11 energies, so
     regenerating both figures (or re-running one with a warm cache)
@@ -53,8 +54,10 @@ def _checkpoint_points(intervals: int, benchmarks: tuple[str, ...],
     from .runner import Point
 
     runner = _resolve_runner(runner)
+    extra = {"backend": backend} if backend is not None else {}
     return runner.run([
-        Point("checkpoint", {"benchmark": name, "intervals": intervals},
+        Point("checkpoint", {"benchmark": name, "intervals": intervals,
+                             **extra},
               label=f"checkpoint:{name}x{intervals}")
         for name in benchmarks
     ])
@@ -62,17 +65,19 @@ def _checkpoint_points(intervals: int, benchmarks: tuple[str, ...],
 
 def figure10_overheads(intervals: int = 2,
                        benchmarks: tuple[str, ...] = BENCHMARKS,
-                       runner=None) -> dict[str, dict[str, float]]:
+                       runner=None,
+                       backend: str | None = None) -> dict[str, dict[str, float]]:
     """Figure 10: checkpointing performance overhead (%) per benchmark."""
-    docs = _checkpoint_points(intervals, benchmarks, runner)
+    docs = _checkpoint_points(intervals, benchmarks, runner, backend=backend)
     return {doc["benchmark"]: doc["overheads"] for doc in docs}
 
 
 def figure11_energy(intervals: int = 2,
                     benchmarks: tuple[str, ...] = BENCHMARKS,
-                    runner=None) -> dict[str, dict[str, float]]:
+                    runner=None,
+                    backend: str | None = None) -> dict[str, dict[str, float]]:
     """Figure 11: total energy (nJ) per benchmark, including no_chkpt."""
-    docs = _checkpoint_points(intervals, benchmarks, runner)
+    docs = _checkpoint_points(intervals, benchmarks, runner, backend=backend)
     return {doc["benchmark"]: doc["energy"] for doc in docs}
 
 

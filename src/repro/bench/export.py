@@ -57,22 +57,25 @@ def provenance() -> dict[str, Any]:
     }
 
 
-def export_fast(runner: PointRunner | None = None) -> dict[str, Any]:
+def export_fast(runner: PointRunner | None = None,
+                backend: str | None = None) -> dict[str, Any]:
     """Tables I/III/V, Figures 3/7/8a, and the validation battery."""
     from ..validate import run_validation
 
     runner = runner or PointRunner()
-    fig7 = microbench.figure7(runner=runner)
-    fig8a = microbench.figure8a_inplace_vs_nearplace(runner=runner)
+    fig7 = microbench.figure7(runner=runner, backend=backend)
+    fig8a = microbench.figure8a_inplace_vs_nearplace(runner=runner,
+                                                     backend=backend)
     doc: dict[str, Any] = {
         "schema": "repro.results/1",
         "provenance": provenance(),
         "machine": config_to_dict(sandybridge_8core()),
-        "validation_ok": run_validation(verbose=False),
+        "validation_ok": run_validation(verbose=False, backend=backend),
         "table1": microbench.table1_rows(),
         "table3": microbench.table3_rows(),
         "table5": microbench.table5_rows(),
-        "figure3": microbench.figure3_energy_proportions(runner=runner),
+        "figure3": microbench.figure3_energy_proportions(runner=runner,
+                                                         backend=backend),
         "figure7": {
             kernel: {cfg: _kernel_entry(meas) for cfg, meas in pair.items()}
             for kernel, pair in fig7.items()
@@ -87,12 +90,13 @@ def export_fast(runner: PointRunner | None = None) -> dict[str, Any]:
 
 
 def export_full(scale: float = 0.5, intervals: int = 1,
-                runner: PointRunner | None = None) -> dict[str, Any]:
+                runner: PointRunner | None = None,
+                backend: str | None = None) -> dict[str, Any]:
     """Everything in :func:`export_fast` plus Figures 8b, 9, 10, 11."""
     runner = runner or PointRunner()
-    doc = export_fast(runner=runner)
-    doc["figure8b"] = microbench.figure8b_levels(runner=runner)
-    comparisons = appbench.figure9(scale=scale, runner=runner)
+    doc = export_fast(runner=runner, backend=backend)
+    doc["figure8b"] = microbench.figure8b_levels(runner=runner, backend=backend)
+    comparisons = appbench.figure9(scale=scale, runner=runner, backend=backend)
     doc["figure9"] = {
         app: {
             "speedup": round(comp.speedup, 3),
@@ -103,17 +107,20 @@ def export_full(scale: float = 0.5, intervals: int = 1,
         for app, comp in comparisons.items()
     }
     doc["figure10"] = checkpointbench.figure10_overheads(intervals=intervals,
-                                                         runner=runner)
+                                                         runner=runner,
+                                                         backend=backend)
     doc["figure11"] = checkpointbench.figure11_energy(intervals=intervals,
-                                                      runner=runner)
+                                                      runner=runner,
+                                                      backend=backend)
     return doc
 
 
 def write_results(path: str, full: bool = False,
-                  runner: PointRunner | None = None, **kwargs) -> dict[str, Any]:
+                  runner: PointRunner | None = None,
+                  backend: str | None = None, **kwargs) -> dict[str, Any]:
     """Export and write to ``path``; returns the document."""
-    doc = (export_full(runner=runner, **kwargs) if full
-           else export_fast(runner=runner))
+    doc = (export_full(runner=runner, backend=backend, **kwargs) if full
+           else export_fast(runner=runner, backend=backend))
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=1, sort_keys=True, default=float)
     return doc

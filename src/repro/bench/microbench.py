@@ -44,13 +44,23 @@ def _resolve_runner(runner: PointRunner | None) -> PointRunner:
 
 def kernel_point_spec(kernel: str, config: str, size: int,
                       level: str = "L3",
-                      machine: dict | None = None) -> Point:
+                      machine: dict | None = None,
+                      backend: str | None = None,
+                      seed: int | None = None) -> Point:
     """The :class:`~repro.bench.runner.Point` descriptor for one
-    (kernel, configuration) micro-benchmark cell."""
+    (kernel, configuration) micro-benchmark cell.
+
+    ``backend`` and ``seed`` enter the kwargs only when overridden, so
+    default-run cache keys are unchanged by their existence.
+    """
     kwargs: dict = {"kernel": kernel, "config": config, "size": size,
                     "level": level}
     if machine is not None:
         kwargs["machine"] = machine
+    if backend is not None:
+        kwargs["backend"] = backend
+    if seed is not None:
+        kwargs["seed"] = seed
     return Point("kernel", kwargs,
                  label=f"{kernel}/{config}@{level}/{size}B")
 
@@ -134,15 +144,19 @@ def _cc_instruction(kernel: str, a: int, b: int, c: int, size: int):
 
 def run_kernel(kernel: str, config: str, size: int = OPERAND_BYTES,
                level: str = "L3",
-               machine_config: MachineConfig | None = None) -> KernelMeasurement:
+               machine_config: MachineConfig | None = None,
+               backend: str | None = None,
+               seed: int = 42) -> KernelMeasurement:
     """Measure one kernel in one configuration.
 
     ``config`` is one of ``scalar``, ``base32``, ``cc`` (in-place) or
     ``cc_near`` (forced near-place).  ``level`` places the operands at L1,
-    L2, or L3 before measuring (Figure 8(b)).
+    L2, or L3 before measuring (Figure 8(b)).  ``backend`` overrides the
+    execution backend; ``seed`` drives the operand-staging data.
     """
-    m = ComputeCacheMachine(machine_config or sandybridge_8core())
-    a, b, c = _stage_operands(m, 3, size)
+    m = ComputeCacheMachine(machine_config or sandybridge_8core(),
+                            backend=backend)
+    a, b, c = _stage_operands(m, 3, size, seed=seed)
     if level in ("L1", "L2"):
         for addr in (a, b, c):
             m.touch_range(addr, size, for_write=(addr == c))
@@ -192,12 +206,15 @@ def run_kernel(kernel: str, config: str, size: int = OPERAND_BYTES,
 
 
 def figure7(size: int = OPERAND_BYTES,
-            runner: PointRunner | None = None) -> dict[str, dict[str, KernelMeasurement]]:
+            runner: PointRunner | None = None,
+            backend: str | None = None,
+            seed: int | None = None) -> dict[str, dict[str, KernelMeasurement]]:
     """All four kernels in Base_32 and CC_L3 (Figures 7a, 7b, 7c)."""
     runner = _resolve_runner(runner)
     cells = [(kernel, config) for kernel in KERNELS
              for config in ("base32", "cc")]
-    docs = runner.run([kernel_point_spec(k, c, size) for k, c in cells])
+    docs = runner.run([kernel_point_spec(k, c, size, backend=backend, seed=seed)
+                       for k, c in cells])
     out: dict[str, dict[str, KernelMeasurement]] = {}
     for (kernel, config), doc in zip(cells, docs):
         out.setdefault(kernel, {})[config] = measurement_from_point(doc)
@@ -227,11 +244,14 @@ def figure7_summary(results: dict[str, dict[str, KernelMeasurement]]) -> dict[st
 
 def figure8a_inplace_vs_nearplace(size: int = OPERAND_BYTES,
                                   runner: PointRunner | None = None,
+                                  backend: str | None = None,
+                                  seed: int | None = None,
                                   ) -> dict[str, dict[str, KernelMeasurement]]:
     runner = _resolve_runner(runner)
     cells = [(kernel, config) for kernel in KERNELS
              for config in ("cc", "cc_near")]
-    docs = runner.run([kernel_point_spec(k, c, size) for k, c in cells])
+    docs = runner.run([kernel_point_spec(k, c, size, backend=backend, seed=seed)
+                       for k, c in cells])
     out: dict[str, dict[str, KernelMeasurement]] = {}
     for (kernel, config), doc in zip(cells, docs):
         key = "inplace" if config == "cc" else "nearplace"
@@ -244,13 +264,16 @@ def figure8a_inplace_vs_nearplace(size: int = OPERAND_BYTES,
 
 def figure8b_levels(size: int = OPERAND_BYTES,
                     runner: PointRunner | None = None,
+                    backend: str | None = None,
+                    seed: int | None = None,
                     ) -> dict[str, dict[str, dict[str, float]]]:
     """Dynamic-energy savings of CC vs Base_32 with operands resident at
     each cache level; per-component savings in pJ (Figure 8(b)'s bars)."""
     runner = _resolve_runner(runner)
     cells = [(kernel, level, config) for kernel in KERNELS
              for level in ("L3", "L2", "L1") for config in ("base32", "cc")]
-    docs = runner.run([kernel_point_spec(k, c, size, level=lvl)
+    docs = runner.run([kernel_point_spec(k, c, size, level=lvl,
+                                         backend=backend, seed=seed)
                        for k, lvl, c in cells])
     meas = {cell: measurement_from_point(doc) for cell, doc in zip(cells, docs)}
     out: dict[str, dict[str, dict[str, float]]] = {}
@@ -272,12 +295,16 @@ def figure8b_levels(size: int = OPERAND_BYTES,
 
 def figure3_energy_proportions(size: int = OPERAND_BYTES,
                                runner: PointRunner | None = None,
+                               backend: str | None = None,
+                               seed: int | None = None,
                                ) -> dict[str, dict[str, float]]:
     """Core vs data-movement dynamic-energy split for a bulk compare on a
     scalar core, a SIMD core, and a Compute Cache."""
     runner = _resolve_runner(runner)
     configs = ("scalar", "base32", "cc")
-    docs = runner.run([kernel_point_spec("compare", c, size) for c in configs])
+    docs = runner.run([kernel_point_spec("compare", c, size,
+                                         backend=backend, seed=seed)
+                       for c in configs])
     out = {}
     for config, doc in zip(configs, docs):
         meas = measurement_from_point(doc)

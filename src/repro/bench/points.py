@@ -66,18 +66,24 @@ def point_function(name: str):
 @point_function("kernel")
 def kernel_point(kernel: str, config: str, size: int = 4096,
                  level: str = "L3",
-                 machine: dict[str, Any] | None = None) -> dict[str, Any]:
+                 machine: dict[str, Any] | None = None,
+                 backend: str | None = None,
+                 seed: int = 42) -> dict[str, Any]:
     """One (kernel, configuration) micro-benchmark measurement.
 
     ``machine`` is an optional machine-config document
     (:func:`repro.config_io.config_to_dict` form) for sweep points that
     vary the hardware; ``None`` means the paper's Table IV machine.
+    ``backend`` overrides the execution backend and ``seed`` the
+    operand-staging data; both enter the cache key only when a spec
+    carries them explicitly (see ``kernel_point_spec``).
     """
     from .microbench import run_kernel
 
     machine_config = config_from_dict(machine) if machine is not None else None
     meas = run_kernel(kernel, config, size=size, level=level,
-                      machine_config=machine_config)
+                      machine_config=machine_config, backend=backend,
+                      seed=seed)
     return {
         "kernel": meas.kernel,
         "config": meas.config,
@@ -112,22 +118,30 @@ def measurement_from_point(doc: dict[str, Any]):
 
 
 @point_function("app")
-def app_point(app: str, scale: float = 1.0) -> dict[str, Any]:
+def app_point(app: str, scale: float = 1.0,
+              backend: str | None = None,
+              seed: int | None = None) -> dict[str, Any]:
     """One Figure 9 application, baseline vs CC, reduced to plain data.
 
     The size mapping per ``scale`` mirrors what
-    :func:`repro.bench.appbench.figure9` has always used.
+    :func:`repro.bench.appbench.figure9` has always used.  ``backend``
+    overrides the execution backend; ``seed`` replaces the app's fixed
+    workload seed (:data:`WORKLOAD_SEEDS`).
     """
     from . import appbench
 
     if app == "wordcount":
-        comp = appbench.bench_wordcount(n_words=int(6000 * scale))
+        comp = appbench.bench_wordcount(n_words=int(6000 * scale),
+                                        backend=backend, seed=seed)
     elif app == "stringmatch":
-        comp = appbench.bench_stringmatch(n_words=max(256, int(4096 * scale)))
+        comp = appbench.bench_stringmatch(n_words=max(256, int(4096 * scale)),
+                                          backend=backend, seed=seed)
     elif app == "bmm":
-        comp = appbench.bench_bmm(n=256 if scale >= 1.0 else 128)
+        comp = appbench.bench_bmm(n=256 if scale >= 1.0 else 128,
+                                  backend=backend, seed=seed)
     elif app == "db-bitmap":
-        comp = appbench.bench_bitmap(n_rows=max(1 << 14, int((1 << 17) * scale)))
+        comp = appbench.bench_bitmap(n_rows=max(1 << 14, int((1 << 17) * scale)),
+                                     backend=backend, seed=seed)
     else:
         raise ValueError(f"unknown application {app!r}")
     return {
@@ -149,14 +163,15 @@ def app_point(app: str, scale: float = 1.0) -> dict[str, Any]:
 
 
 @point_function("checkpoint")
-def checkpoint_point(benchmark: str, intervals: int = 2) -> dict[str, Any]:
+def checkpoint_point(benchmark: str, intervals: int = 2,
+                     backend: str | None = None) -> dict[str, Any]:
     """All engines for one SPLASH-2 profile: overheads (Figure 10) and
     total energies (Figure 11) from a single set of runs — the two
     figures share this point, so regenerating both simulates each
     benchmark once."""
     from .checkpointbench import ENGINES, run_benchmark
 
-    comp = run_benchmark(benchmark, intervals)
+    comp = run_benchmark(benchmark, intervals, backend=backend)
     return {
         "benchmark": benchmark,
         "intervals": intervals,

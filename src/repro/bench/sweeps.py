@@ -33,10 +33,13 @@ from .points import measurement_from_point
 
 def operand_size_sweep(kernel: str = "logical",
                        sizes: tuple[int, ...] = (64, 256, 1024, 4096, 16384),
-                       runner=None) -> list[dict[str, float]]:
+                       runner=None,
+                       backend: str | None = None,
+                       seed: int | None = None) -> list[dict[str, float]]:
     """CC-vs-Base_32 gain as a function of operand size."""
     runner = _resolve_runner(runner)
-    docs = runner.run([kernel_point_spec(kernel, config, size)
+    docs = runner.run([kernel_point_spec(kernel, config, size,
+                                         backend=backend, seed=seed)
                        for size in sizes for config in ("base32", "cc")])
     rows = []
     for i, size in enumerate(sizes):
@@ -57,6 +60,8 @@ def partition_parallelism_sweep(
     bps_options: tuple[int, ...] = (1, 2, 4),
     size: int = 4096,
     runner=None,
+    backend: str | None = None,
+    seed: int | None = None,
 ) -> list[dict[str, float]]:
     """In-place makespan vs the number of block partitions per bank.
 
@@ -76,7 +81,8 @@ def partition_parallelism_sweep(
         )
         variants.append((bps, l3, replace(base_cfg, l3_slice=l3)))
     docs = runner.run([
-        kernel_point_spec(kernel, "cc", size, machine=config_to_dict(cfg))
+        kernel_point_spec(kernel, "cc", size, machine=config_to_dict(cfg),
+                          backend=backend, seed=seed)
         for _, _, cfg in variants
     ])
     rows = []

@@ -33,6 +33,10 @@ class Directory:
         self._entries: dict[int, DirectoryEntry] = {}
         self.slice_id = slice_id
         self.tracer = tracer
+        self.redundant_revokes = 0
+        """Revocations of a copy the core no longer held.  Duplicated
+        forwarded requests (:mod:`repro.faults` directory faults) land
+        here; the protocol treats them as idempotent no-ops."""
 
     def entry(self, block_addr: int) -> DirectoryEntry:
         return self._entries.setdefault(block_addr, DirectoryEntry())
@@ -63,10 +67,16 @@ class Directory:
         e = self.entry(block_addr)
         e.owner = None
 
-    def remove_sharer(self, block_addr: int, core: int) -> None:
+    def remove_sharer(self, block_addr: int, core: int) -> bool:
+        """Revoke ``core``'s copy; returns False for an idempotent no-op
+        (the core held no copy — e.g. a duplicated forwarded request)."""
         e = self._entries.get(block_addr)
-        if e is None:
-            return
+        if e is None or core not in e.sharers:
+            self.redundant_revokes += 1
+            if self.tracer is not None:
+                self.tracer.emit("dir.revoke", core=core, unit=self.slice_id,
+                                 addr=block_addr, reason="redundant")
+            return False
         e.sharers.discard(core)
         if e.owner == core:
             e.owner = None
@@ -75,6 +85,7 @@ class Directory:
                              addr=block_addr)
         if not e.sharers:
             del self._entries[block_addr]
+        return True
 
     def drop(self, block_addr: int) -> None:
         if self._entries.pop(block_addr, None) is not None \

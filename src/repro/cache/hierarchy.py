@@ -93,6 +93,12 @@ class CacheHierarchy:
         )
         self._page_to_slice: dict[int, int] = {}
         self.forced_unpins: list[tuple[str, int, int]] = []
+        self.coherence_fault_hook = None
+        """Fault-injection hook (:mod:`repro.faults`): called as
+        ``hook(addr, holder_core)`` after each forwarded coherence request
+        is processed.  Returning ``("duplicate", 0)`` re-delivers the
+        request (which must be an idempotent no-op); ``("delay", cycles)``
+        charges extra delivery latency; ``None`` injects nothing."""
 
     # -- NUCA home mapping ---------------------------------------------------------
 
@@ -159,6 +165,37 @@ class CacheHierarchy:
                 dirty_data = level.read_block(addr, charge=False)
             level.set_state(addr, MESIState.SHARED)
         return dirty_data
+
+    def _coherence_fault_latency(self, addr: int, holder: int, slice_id: int,
+                                 directory, invalidate: bool) -> int:
+        """Consult the fault hook after a forwarded request; returns extra
+        latency.  A ``duplicate`` action re-delivers the message — the
+        invalidate/downgrade and the directory revocation must absorb it
+        as idempotent no-ops; a ``delay`` action charges the injected
+        delivery latency."""
+        if self.coherence_fault_hook is None:
+            return 0
+        action = self.coherence_fault_hook(addr, holder)
+        if action is None:
+            return 0
+        kind, cycles = action
+        extra = 0
+        if kind == "duplicate":
+            if invalidate:
+                self._invalidate_private(holder, addr)
+                directory.remove_sharer(addr, holder)
+            else:
+                self._downgrade_private(holder, addr)
+                directory.clear_owner(addr)
+            holder_stop = RingInterconnect.core_stop(holder, self.config.l3_slices)
+            extra = self.ring.send_control(slice_id, holder_stop)
+        elif kind == "delay":
+            extra = int(cycles)
+        if self.tracer is not None:
+            self.tracer.emit("fault.recover", core=holder, level="L3",
+                             addr=addr, outcome="absorbed",
+                             reason=f"directory-{kind}", span=float(extra))
+        return extra
 
     # -- eviction handling --------------------------------------------------------------
 
@@ -231,10 +268,14 @@ class CacheHierarchy:
                 directory.remove_sharer(addr, owner)
             else:
                 directory.clear_owner(addr)
+            latency += self._coherence_fault_latency(
+                addr, owner, slice_id, directory, invalidate=for_write)
         elif for_write:
             for sharer in sorted(entry.sharers - {core}):
                 self._invalidate_private(sharer, addr)
                 directory.remove_sharer(addr, sharer)
+                latency += self._coherence_fault_latency(
+                    addr, sharer, slice_id, directory, invalidate=True)
 
         # Supply the data from L3, fetching from memory on an L3 miss.
         if l3.contains(addr):
@@ -477,6 +518,8 @@ class CacheHierarchy:
                     holder_stop = RingInterconnect.core_stop(holder, self.config.l3_slices)
                     latency += self.ring.send_block(holder_stop, slice_id)
                     l3.write_block(addr, data, dirty=True)
+                latency += self._coherence_fault_latency(
+                    addr, holder, slice_id, directory, invalidate=is_dest)
         if not l3.contains(addr):
             if skip_fetch and is_dest:
                 ev = l3.fill(addr, bytes(BLOCK_SIZE), MESIState.MODIFIED)

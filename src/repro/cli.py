@@ -19,6 +19,11 @@ Usage::
 The figure, sweep, and export commands take ``--jobs N`` (process-pool
 parallelism), ``--no-cache``, and ``--cache-dir`` — see
 ``docs/benchmarks.md`` for the runner architecture and cache semantics.
+
+Every simulation subcommand takes the common trio ``--backend``
+(``packed``/``bitexact``), ``--trace-events``, and ``--seed``; the
+``faults`` subcommand runs a deterministic fault-injection campaign and
+prints a resilience report (see ``docs/faults.md``).
 """
 
 from __future__ import annotations
@@ -34,11 +39,18 @@ def _runner_from(args):
     from .bench.runner import PointRunner
 
     return PointRunner(jobs=args.jobs, cache_dir=args.cache_dir,
-                       use_cache=not args.no_cache)
+                       use_cache=not args.no_cache,
+                       backend=getattr(args, "backend", None))
 
 
-def _finish_runner(runner) -> None:
-    """The post-command cache-stats footer (grepped by CI)."""
+def _finish_runner(runner, args=None) -> None:
+    """The post-command cache-stats footer (grepped by CI); with
+    ``--trace-events``, also the runner's wall-clock attribution."""
+    if args is not None and getattr(args, "trace_events", False):
+        from .bench.runner import format_runner_profile
+
+        print()
+        print(format_runner_profile(runner.tracer))
     print()
     print(runner.stats.line())
 
@@ -54,13 +66,14 @@ def _cmd_tables(_args) -> None:
     print(render_table(table5_rows(), "Table V: CC energy (pJ) per 64-byte block"))
 
 
-def _cmd_fig3(_args) -> None:
+def _cmd_fig3(args) -> None:
     from .bench.microbench import figure3_energy_proportions
     from .bench.report import render_table
 
     rows = [
         {"config": cfg, **vals}
-        for cfg, vals in figure3_energy_proportions().items()
+        for cfg, vals in figure3_energy_proportions(
+            backend=args.backend, seed=args.seed).items()
     ]
     print(render_table(rows, "Figure 3: bulk-compare energy proportions"))
 
@@ -70,12 +83,13 @@ def _cmd_fig7(args) -> None:
     from .bench.report import render_figure7
 
     runner = _runner_from(args)
-    results = figure7(size=args.size, runner=runner)
+    results = figure7(size=args.size, runner=runner,
+                      backend=args.backend, seed=args.seed)
     print(render_figure7(results))
     print()
     for key, value in figure7_summary(results).items():
         print(f"  {key}: {value:.2f}")
-    _finish_runner(runner)
+    _finish_runner(runner, args)
 
 
 def _cmd_fig8(args) -> None:
@@ -84,8 +98,9 @@ def _cmd_fig8(args) -> None:
 
     runner = _runner_from(args)
     rows = []
-    for kernel, pair in figure8a_inplace_vs_nearplace(args.size,
-                                                      runner=runner).items():
+    for kernel, pair in figure8a_inplace_vs_nearplace(
+            args.size, runner=runner, backend=args.backend,
+            seed=args.seed).items():
         rows.append({
             "kernel": kernel,
             "in-place nJ": pair["inplace"].total_energy_nj,
@@ -98,7 +113,9 @@ def _cmd_fig8(args) -> None:
     print(render_table(rows, "Figure 8(a): in-place vs near-place"))
     print()
     rows = []
-    for kernel, levels in figure8b_levels(args.size, runner=runner).items():
+    for kernel, levels in figure8b_levels(args.size, runner=runner,
+                                          backend=args.backend,
+                                          seed=args.seed).items():
         for level, d in levels.items():
             rows.append({
                 "kernel": kernel, "level": level,
@@ -106,7 +123,7 @@ def _cmd_fig8(args) -> None:
                 "savings fraction": d["savings_fraction"],
             })
     print(render_table(rows, "Figure 8(b): dynamic-energy savings by level"))
-    _finish_runner(runner)
+    _finish_runner(runner, args)
 
 
 def _cmd_fig9(args) -> None:
@@ -114,8 +131,9 @@ def _cmd_fig9(args) -> None:
     from .bench.report import render_figure9
 
     runner = _runner_from(args)
-    print(render_figure9(figure9(scale=args.scale, runner=runner)))
-    _finish_runner(runner)
+    print(render_figure9(figure9(scale=args.scale, runner=runner,
+                                 backend=args.backend, seed=args.seed)))
+    _finish_runner(runner, args)
 
 
 def _cmd_fig10(args) -> None:
@@ -123,12 +141,13 @@ def _cmd_fig10(args) -> None:
     from .bench.report import render_figure10
 
     runner = _runner_from(args)
-    overheads = figure10_overheads(intervals=args.intervals, runner=runner)
+    overheads = figure10_overheads(intervals=args.intervals, runner=runner,
+                                   backend=args.backend)
     print(render_figure10(overheads))
     print()
     for key, value in summarize_overheads(overheads).items():
         print(f"  {key}: {value:.1%}")
-    _finish_runner(runner)
+    _finish_runner(runner, args)
 
 
 def _cmd_fig11(args) -> None:
@@ -137,8 +156,9 @@ def _cmd_fig11(args) -> None:
 
     runner = _runner_from(args)
     print(render_figure11(figure11_energy(intervals=args.intervals,
-                                          runner=runner)))
-    _finish_runner(runner)
+                                          runner=runner,
+                                          backend=args.backend)))
+    _finish_runner(runner, args)
 
 
 def _cmd_sweeps(args) -> None:
@@ -152,10 +172,14 @@ def _cmd_sweeps(args) -> None:
     )
 
     runner = _runner_from(args)
-    print(render_table(operand_size_sweep(kernel=args.kernel, runner=runner),
+    print(render_table(operand_size_sweep(kernel=args.kernel, runner=runner,
+                                          backend=args.backend,
+                                          seed=args.seed),
                        f"Operand-size sweep ({args.kernel})"))
     print()
-    print(render_table(partition_parallelism_sweep(runner=runner),
+    print(render_table(partition_parallelism_sweep(runner=runner,
+                                                   backend=args.backend,
+                                                   seed=args.seed),
                        "Partition-parallelism sweep (copy)"))
     print()
     print(render_table(wordline_activation_sweep(),
@@ -164,15 +188,21 @@ def _cmd_sweeps(args) -> None:
     print(render_table(noc_distance_sweep(), "NoC distance sweep"))
     print()
     print(format_runner_profile(runner.tracer))
-    _finish_runner(runner)
+    _finish_runner(runner, args)
 
 
 def _cmd_demo(args) -> None:
+    import random
+
     from . import ComputeCacheMachine, cc_ops
 
-    m = ComputeCacheMachine(backend=args.backend)
+    m = ComputeCacheMachine(backend=args.backend,
+                            trace_events=args.trace_events or None)
     a, b, c = m.arena.alloc_colocated(4096, 3)
-    m.load(a, bytes(range(256)) * 16)
+    if args.seed is None:
+        m.load(a, bytes(range(256)) * 16)
+    else:
+        m.load(a, random.Random(f"{args.seed}:demo").randbytes(4096))
     m.load(b, b"\x0f" * 4096)
     res = m.cc(cc_ops.cc_and(a, b, c, 4096))
     print(f"cc_and over 4 KB: level={res.level}, {res.inplace_ops} in-place "
@@ -180,6 +210,12 @@ def _cmd_demo(args) -> None:
     print(f"first 16 result bytes: {m.peek(c, 16).hex()}")
     print(f"dynamic energy: {m.ledger.total_nj():.1f} nJ "
           f"({m.ledger.breakdown()})")
+    if args.trace_events:
+        from collections import Counter
+
+        counts = Counter(e.kind for e in m.tracer.snapshot())
+        print("events: " + ", ".join(f"{kind}: {n}"
+                                     for kind, n in sorted(counts.items())))
 
 
 def _cmd_profile(args) -> None:
@@ -224,11 +260,47 @@ def _cmd_export(args) -> None:
     from .bench.export import write_results
 
     runner = _runner_from(args)
-    doc = write_results(args.out, full=args.full, runner=runner)
+    doc = write_results(args.out, full=args.full, runner=runner,
+                        backend=args.backend)
     exhibits = [k for k in doc if k.startswith(("table", "figure"))]
     print(f"wrote {args.out}: {len(exhibits)} exhibits, "
           f"validation_ok={doc['validation_ok']}")
-    _finish_runner(runner)
+    _finish_runner(runner, args)
+
+
+def _cmd_faults(args) -> None:
+    import json
+
+    from .faults import default_plan, run_campaign
+
+    if args.plan:
+        from dataclasses import replace
+
+        from .config_io import load_fault_plan
+
+        plan = load_fault_plan(args.plan)
+        if args.seed != plan.seed:
+            plan = replace(plan, seed=args.seed)
+    else:
+        plan = default_plan(args.seed)
+    backends = BACKENDS if args.backend == "both" else (args.backend,)
+    reports = [run_campaign(plan, backend=backend) for backend in backends]
+    print(reports[0].format())
+    ok = all(report.silent == 0 for report in reports)
+    if len(reports) > 1:
+        match = len({report.image_digest for report in reports}) == 1
+        print()
+        print("cross-backend digest: "
+              + ("MATCH" if match else "MISMATCH")
+              + f" ({' vs '.join(report.backend for report in reports)})")
+        ok = ok and match
+    if args.report:
+        doc = [report.to_dict() for report in reports]
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.report}")
+    if not ok:
+        sys.exit(1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -249,54 +321,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="result-cache directory (default .repro-cache)")
 
+    # The common trio every simulation subcommand accepts.
+    sim_args = argparse.ArgumentParser(add_help=False)
+    sim_args.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution backend (default: config default, packed)")
+    sim_args.add_argument(
+        "--trace-events", action="store_true",
+        help="collect event traces and print an attribution summary")
+    sim_args.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="workload seed override (commands with fully deterministic "
+             "workloads ignore it)")
+
     sub.add_parser("tables", help="Tables I, III, V").set_defaults(fn=_cmd_tables)
-    sub.add_parser("fig3", help="Figure 3 energy proportions").set_defaults(fn=_cmd_fig3)
+    p3 = sub.add_parser("fig3", help="Figure 3 energy proportions",
+                        parents=[sim_args])
+    p3.set_defaults(fn=_cmd_fig3)
 
     p7 = sub.add_parser("fig7", help="Figure 7 micro-benchmarks",
-                        parents=[runner_args])
+                        parents=[runner_args, sim_args])
     p7.add_argument("--size", type=int, default=4096, help="operand bytes")
     p7.set_defaults(fn=_cmd_fig7)
 
     p8 = sub.add_parser("fig8", help="Figure 8 in/near-place + levels",
-                        parents=[runner_args])
+                        parents=[runner_args, sim_args])
     p8.add_argument("--size", type=int, default=4096)
     p8.set_defaults(fn=_cmd_fig8)
 
     p9 = sub.add_parser("fig9", help="Figure 9 applications",
-                        parents=[runner_args])
+                        parents=[runner_args, sim_args])
     p9.add_argument("--scale", type=float, default=0.5,
                     help="workload scale factor (1.0 = bench scale)")
     p9.set_defaults(fn=_cmd_fig9)
 
     p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads",
-                         parents=[runner_args])
+                         parents=[runner_args, sim_args])
     p10.add_argument("--intervals", type=int, default=1)
     p10.set_defaults(fn=_cmd_fig10)
 
     p11 = sub.add_parser("fig11", help="Figure 11 checkpoint energy",
-                         parents=[runner_args])
+                         parents=[runner_args, sim_args])
     p11.add_argument("--intervals", type=int, default=1)
     p11.set_defaults(fn=_cmd_fig11)
 
     psw = sub.add_parser(
         "sweeps", help="design-space sweeps around the 4 KB operating point",
-        parents=[runner_args])
+        parents=[runner_args, sim_args])
     psw.add_argument("--kernel", default="logical",
                      help="kernel for the operand-size sweep")
     psw.set_defaults(fn=_cmd_sweeps)
 
-    pd = sub.add_parser("demo", help="quick CC walkthrough")
-    pd.add_argument("--backend", choices=BACKENDS, default=None,
-                    help="execution backend (default: config default, packed)")
+    pd = sub.add_parser("demo", help="quick CC walkthrough",
+                        parents=[sim_args])
     pd.set_defaults(fn=_cmd_demo)
 
     pp = sub.add_parser(
         "profile",
         help="replay a trace with event tracing and report cycle attribution",
+        parents=[sim_args],
     )
     pp.add_argument("trace", help="trace file (see repro.trace for the grammar)")
-    pp.add_argument("--backend", choices=BACKENDS, default=None,
-                    help="execution backend (default: config default, packed)")
     pp.add_argument("--machine", choices=("paper", "small"), default="paper",
                     help="machine config: paper (Table IV) or small (test-sized)")
     pp.add_argument("--buffer", type=int, default=None,
@@ -306,23 +391,68 @@ def build_parser() -> argparse.ArgumentParser:
     pp.set_defaults(fn=_cmd_profile)
 
     pv = sub.add_parser(
-        "validate", help="fast end-to-end self-check of every layer"
+        "validate", help="fast end-to-end self-check of every layer",
+        parents=[sim_args],
     )
-    pv.add_argument("--backend", choices=BACKENDS, default=None,
-                    help="force the battery onto one execution backend")
     pv.set_defaults(fn=_cmd_validate)
 
     pe = sub.add_parser("export", help="write machine-readable results JSON",
-                        parents=[runner_args])
+                        parents=[runner_args, sim_args])
     pe.add_argument("--out", default="results.json")
     pe.add_argument("--full", action="store_true",
                     help="include Figures 8b/9/10/11 (minutes of simulation)")
     pe.set_defaults(fn=_cmd_export)
+
+    pf = sub.add_parser(
+        "faults",
+        help="run a deterministic fault-injection campaign and report "
+             "resilience (see docs/faults.md)",
+    )
+    pf.add_argument("--seed", type=int, default=0, metavar="N",
+                    help="fault-schedule seed (default 0)")
+    pf.add_argument("--plan", metavar="PLAN.json", default=None,
+                    help="fault plan JSON (default: the built-in default "
+                         "plan covering every fault kind)")
+    pf.add_argument("--backend", choices=BACKENDS + ("both",), default="both",
+                    help="backend(s) to campaign on; 'both' (default) also "
+                         "cross-checks the report digests")
+    pf.add_argument("--trace-events", action="store_true",
+                    help="accepted for CLI uniformity (fault campaigns "
+                         "always trace events)")
+    pf.add_argument("--report", metavar="OUT.json", default=None,
+                    help="also write the resilience report(s) as JSON")
+    pf.set_defaults(fn=_cmd_faults)
     return parser
 
 
+#: Hidden aliases for flags that were renamed when the trio was unified;
+#: they keep working with a deprecation note on stderr.
+DEPRECATED_FLAGS = {
+    "--exec-backend": "--backend",
+    "--trace": "--trace-events",
+    "--events": "--trace-events",
+    "--rng-seed": "--seed",
+    "--workload-seed": "--seed",
+}
+
+
+def _rewrite_deprecated_flags(argv: list[str]) -> list[str]:
+    out = []
+    for arg in argv:
+        flag, eq, value = arg.partition("=")
+        replacement = DEPRECATED_FLAGS.get(flag)
+        if replacement is not None:
+            print(f"note: {flag} is deprecated; use {replacement}",
+                  file=sys.stderr)
+            arg = replacement + eq + value
+        out.append(arg)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_rewrite_deprecated_flags(list(argv)))
     args.fn(args)
     return 0
 

@@ -134,3 +134,35 @@ def save_config(config: MachineConfig, path: str) -> None:
 def load_config(path: str) -> MachineConfig:
     with open(path, encoding="utf-8") as handle:
         return config_from_json(handle.read())
+
+
+# -- fault plans (repro.faults) ------------------------------------------------------
+
+
+def fault_plan_to_json(plan, indent: int = 2) -> str:
+    return json.dumps(plan.to_dict(), indent=indent, sort_keys=True)
+
+
+def fault_plan_from_json(text: str):
+    from .faults.plan import FaultPlan
+
+    return FaultPlan.from_dict(json.loads(text))
+
+
+def save_fault_plan(plan, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(fault_plan_to_json(plan))
+
+
+def load_fault_plan(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return fault_plan_from_json(handle.read())
+
+
+from ._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "config_to_dict", "config_from_dict", "config_to_json", "config_from_json",
+    "config_digest", "save_config", "load_config", "fault_plan_to_json",
+    "fault_plan_from_json", "save_fault_plan", "load_fault_plan",
+))

@@ -123,6 +123,11 @@ class ComputeCacheController:
         self.contention_hook: Callable[[int], bool] | None = None
         """Test hook: called with each pinned block address; returning True
         simulates a forwarded coherence request stealing the line."""
+        self.fetch_fault_hook: Callable[[int], bool] | None = None
+        """Fault-injection hook (:mod:`repro.faults`): called with each
+        operand block address before it is pinned; returning True
+        simulates an operand-fetch timeout, which drains into the same
+        retry-then-RISC-fallback path as a lost pin."""
         self.reuse_policy = None
         """Optional :class:`~repro.core.reuse.ReuseAwarePolicy` refining
         level selection with reuse prediction (the paper's suggested
@@ -404,6 +409,13 @@ class ComputeCacheController:
             op.pin_attempts = attempts
             lost = self._prepare_and_pin(op, level, skip_fetch, fetch_latencies)
             if not lost:
+                if attempts > 1 and self.tracer is not None:
+                    self.tracer.emit(
+                        "fault.recover", core=self.core_id, level=level,
+                        opcode=instr.opcode.value, instr_id=op.instr_id,
+                        addr=op.operands[0].addr, outcome="retried",
+                        reason="pin-loss", span=float(attempts - 1),
+                    )
                 return True
             self.stats.pin_retries += 1
             if self.tracer is not None:
@@ -416,6 +428,13 @@ class ComputeCacheController:
                 self._unpin_all(op, level)
                 op.fallback_reason = "pin-loss"
                 self._risc_fallback(op, instr, key_data)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "fault.recover", core=self.core_id, level=level,
+                        opcode=instr.opcode.value, instr_id=op.instr_id,
+                        addr=op.operands[0].addr, outcome="degraded-risc",
+                        reason="pin-loss", span=float(attempts),
+                    )
                 return False
 
     def _run_block_op(self, op: BlockOperation, instr: CCInstruction, level: str,
@@ -619,6 +638,12 @@ class ComputeCacheController:
                         addr=operand.addr, instr_id=op.instr_id,
                         span=float(latency),
                     )
+            if self.fetch_fault_hook is not None and \
+                    self.fetch_fault_hook(operand.addr):
+                # Injected operand-fetch timeout: drop any partial pin set
+                # and go back through the starvation-avoidance retry path.
+                self._unpin_all(op, level)
+                return True
             cache = self.hierarchy.level_cache(level, self.core_id, operand.addr)
             try:
                 cache.pin(operand.addr, op.instr_id)

@@ -157,6 +157,10 @@ class CCInstruction:
         if needed != have:
             raise ISAError(f"{op.value} takes {needed} memory operands, got {have}")
         for name, addr in self.operands().items():
+            if addr < 0:
+                raise ISAError(
+                    f"{op.value}: operand {name}={addr} is negative"
+                )
             if op is Opcode.CLMUL and name == "dest":
                 # The clmul destination receives packed inner-product bits
                 # (a normal store by the controller); word alignment suffices.

@@ -79,3 +79,17 @@ class ISAError(ReproError):
 
 class RunnerError(ReproError):
     """A benchmark simulation point failed inside the sweep runner."""
+
+
+class FaultPlanError(ConfigError):
+    """A fault-injection plan is malformed (unknown kind, bad probability)."""
+
+
+from ._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "ReproError", "ConfigError", "AddressError", "OperandLocalityError",
+    "ActivationLimitError", "DataCorruptionError", "PageSpanError",
+    "PinnedLineError", "CoherenceError", "ECCError", "ISAError",
+    "RunnerError", "FaultPlanError",
+))

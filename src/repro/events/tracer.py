@@ -52,8 +52,20 @@ Event kinds
 ``htree.transfer``  One 64-byte block moved over a cache's H-tree.
 ``htree.command``   One CC block command broadcast on the address bus.
 ``dir.grant``       Directory grant (``outcome``: ``owner`` / ``sharer``).
-``dir.revoke``      Directory sharer removal.
+``dir.revoke``      Directory sharer removal (``reason``: ``redundant``
+                    for an idempotent duplicate delivery).
 ``dir.drop``        Directory entry dropped (L3 eviction).
+``fault.inject``    One fault delivered by :mod:`repro.faults` (``reason``
+                    names the fault kind, e.g. ``sram.bitflip``,
+                    ``controller.pin-steal``, ``directory.duplicate``).
+``fault.recover``   One recovery action (``outcome``: ``corrected`` =
+                    SECDED scrub fixed a single-bit upset, ``refetched`` =
+                    uncorrectable clean block invalidated, ``retried`` =
+                    operands re-pinned after a loss, ``degraded-risc`` =
+                    RISC fallback after ``pin_retry_limit`` attempts,
+                    ``absorbed`` = duplicated/delayed forwarded request
+                    handled idempotently, ``surfaced`` = unrecoverable,
+                    raised as an error).
 ==================  ==========================================================
 """
 

@@ -1,0 +1,94 @@
+"""Bench-runner chaos: injected worker timeouts and pool crashes.
+
+:class:`RunnerChaos` installs a fake worker pool into a
+:class:`~repro.bench.runner.PointRunner` through its ``_make_pool``
+seam.  The pool executes points inline (in-process, so no real workers
+are harmed) but fails selected futures according to the plan's
+``runner.timeout`` / ``runner.crash`` specs:
+
+* a *timeout* raises :class:`concurrent.futures.TimeoutError` from
+  ``future.result()``, driving the runner's timeout → retry →
+  serial-fallback path;
+* a *crash* raises :class:`concurrent.futures.BrokenExecutor`, after
+  which the runner must degrade every remaining point to the serial
+  fallback.
+
+Both paths must still deliver correct results — the campaign verifies
+the returned documents bit-for-bit against a chaos-free run.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+
+from .plan import FaultPlan
+
+_RUNNER_KINDS = ("runner.crash", "runner.timeout")
+
+
+class _ChaosFuture:
+    """A future that either computes inline or fails as scheduled."""
+
+    def __init__(self, fn, args, mode: str | None) -> None:
+        self._fn = fn
+        self._args = args
+        self._mode = mode
+
+    def result(self, timeout: float | None = None):
+        if self._mode == "timeout":
+            raise FutureTimeout("injected worker timeout")
+        if self._mode == "crash":
+            raise BrokenExecutor("injected worker-pool crash")
+        return self._fn(*self._args)
+
+    def cancel(self) -> bool:
+        return True
+
+
+class ChaosPool:
+    """Duck-typed stand-in for ``ProcessPoolExecutor``."""
+
+    def __init__(self, chaos: "RunnerChaos") -> None:
+        self._chaos = chaos
+
+    def submit(self, fn, *args) -> _ChaosFuture:
+        return _ChaosFuture(fn, args, self._chaos.draw())
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        pass
+
+
+class RunnerChaos:
+    """Seeded schedule of runner faults for one campaign."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injected: dict[str, int] = {}
+        self._spec = {s.kind: s for s in plan.specs if s.kind in _RUNNER_KINDS}
+        self._rng = {
+            kind: random.Random(f"{plan.seed}:{kind}") for kind in self._spec
+        }
+
+    def _want(self, kind: str) -> bool:
+        spec = self._spec.get(kind)
+        if spec is None:
+            return False
+        if spec.max_injections and \
+                self.injected.get(kind, 0) >= spec.max_injections:
+            return False
+        return self._rng[kind].random() < spec.probability
+
+    def draw(self) -> str | None:
+        """Fault mode for the next submitted future."""
+        for kind, mode in (("runner.crash", "crash"),
+                           ("runner.timeout", "timeout")):
+            if self._want(kind):
+                self.injected[kind] = self.injected.get(kind, 0) + 1
+                return mode
+        return None
+
+    def install(self, runner) -> None:
+        """Replace ``runner``'s pool factory with the chaos pool."""
+        runner._make_pool = lambda workers: ChaosPool(self)

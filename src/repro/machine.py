@@ -26,8 +26,8 @@ from .cpu.core_model import CoreModel, RunResult
 from .cpu.program import Program
 from .energy.accounting import EnergyLedger
 from .energy.mcpat import PowerModel, TotalEnergy
-from .errors import AddressError
-from .params import MachineConfig, sandybridge_8core
+from .errors import AddressError, ConfigError
+from .params import BACKENDS, MachineConfig, sandybridge_8core
 
 
 class ComputeCacheMachine:
@@ -47,6 +47,10 @@ class ComputeCacheMachine:
                  trace_events: bool | None = None) -> None:
         from dataclasses import replace
 
+        if backend is not None and backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.config = config or sandybridge_8core()
         overrides = {}
         if backend is not None and backend != self.config.backend:
@@ -164,3 +168,10 @@ class ComputeCacheMachine:
                 if res and res[1]:
                     self.hierarchy.l3[slice_id].write_block(block, res[0], dirty=True)
             self.hierarchy.directory[slice_id].remove_sharer(block, core)
+
+
+from ._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "ComputeCacheMachine",
+))

@@ -41,3 +41,10 @@ __all__ = [
     "SubarrayStats",
     "SubarrayTiming",
 ]
+
+
+from .._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "BitCellArray", "CellType",
+))

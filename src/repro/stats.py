@@ -69,6 +69,11 @@ class MachineSnapshot:
     (``locality-miss``, ``pin-loss``, ``forced``)."""
     cc_level_compute_cycles: dict[str, float] = field(default_factory=dict)
     """CC compute makespan per cache level."""
+    forced_unpins: int = 0
+    """Pinned lines stolen by forwarded coherence requests (including
+    injected ``controller.pin-steal`` faults, see :mod:`repro.faults`)."""
+    directory_redundant_revokes: int = 0
+    """Idempotent no-op revocations — duplicated forwarded requests."""
 
 
 def _level_snapshot(name: str, caches) -> CacheLevelSnapshot:
@@ -152,6 +157,10 @@ def collect_stats(machine: ComputeCacheMachine) -> MachineSnapshot:
         },
         cc_fallback_reasons=reasons,
         cc_level_compute_cycles=level_cycles,
+        forced_unpins=len(hier.forced_unpins),
+        directory_redundant_revokes=sum(
+            d.redundant_revokes for d in hier.directory
+        ),
     )
 
 
@@ -196,7 +205,19 @@ def format_stats(snap: MachineSnapshot) -> str:
         parts = ", ".join(f"{reason}: {count:,}"
                           for reason, count in sorted(snap.cc_fallback_reasons.items()))
         lines.append(f"    fallback reasons: {parts}")
+    if snap.forced_unpins or snap.directory_redundant_revokes:
+        lines.append(
+            f"    resilience: {snap.forced_unpins:,} forced unpins, "
+            f"{snap.directory_redundant_revokes:,} redundant revokes"
+        )
     lines.append(f"dynamic energy: {snap.dynamic_energy_nj:,.1f} nJ")
     for component, nj in snap.energy_breakdown_nj.items():
         lines.append(f"    {component:14s} {nj:12,.1f} nJ")
     return "\n".join(lines)
+
+
+from ._compat import deprecate_deep_imports
+
+deprecate_deep_imports(__name__, (
+    "MachineSnapshot", "collect_stats", "format_stats",
+))

@@ -1,5 +1,7 @@
 """Controller corner cases: splits, occupancy, table pressure, aliasing."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro import ComputeCacheMachine, cc_ops
@@ -146,3 +148,53 @@ class TestL3EvictionUnderCC:
         assert m.peek(c, 256) == data
         # Stale private copies of the destination were invalidated.
         assert not m.hierarchy.l1[0].contains(c)
+
+
+class TestInjectedPinSteals:
+    """Starvation avoidance under injected pin steals (Section IV-E):
+    the RISC fallback engages after *exactly* ``pin_retry_limit`` failed
+    attempts, and results stay correct either way."""
+
+    def _machine(self, limit):
+        cfg = small_test_machine()
+        cfg = replace(cfg, cc=replace(cfg.cc, pin_retry_limit=limit),
+                      trace_events=True)
+        return ComputeCacheMachine(cfg)
+
+    @pytest.mark.parametrize("limit", [1, 2, 3, 5])
+    def test_risc_fallback_after_exactly_limit(self, make_bytes, limit):
+        m = self._machine(limit)
+        a, b, c = m.arena.alloc_colocated(BLOCK_SIZE, 3)
+        da, db = make_bytes(BLOCK_SIZE), make_bytes(BLOCK_SIZE)
+        m.load(a, da)
+        m.load(b, db)
+        ctrl = m.controllers[0]
+        ctrl.contention_hook = lambda addr: True  # every pin is stolen
+        m.cc(cc_ops.cc_and(a, b, c, BLOCK_SIZE))
+        retries = [e for e in m.tracer.snapshot() if e.kind == "cc.pin_retry"]
+        assert len(retries) == limit
+        assert ctrl.stats.risc_fallbacks == 1
+        fallbacks = [e for e in m.tracer.snapshot()
+                     if e.kind == "fault.recover"
+                     and e.outcome == "degraded-risc"]
+        assert len(fallbacks) == 1
+        assert m.peek(c, BLOCK_SIZE) == bytes(
+            x & y for x, y in zip(da, db))
+
+    def test_recovery_before_limit_emits_retried(self, make_bytes):
+        m = self._machine(3)
+        a, b, c = m.arena.alloc_colocated(BLOCK_SIZE, 3)
+        da, db = make_bytes(BLOCK_SIZE), make_bytes(BLOCK_SIZE)
+        m.load(a, da)
+        m.load(b, db)
+        ctrl = m.controllers[0]
+        steals = iter([True])  # steal once, then let the retry succeed
+        ctrl.contention_hook = lambda addr: next(steals, False)
+        m.cc(cc_ops.cc_and(a, b, c, BLOCK_SIZE))
+        assert ctrl.stats.risc_fallbacks == 0
+        recoveries = [e for e in m.tracer.snapshot()
+                      if e.kind == "fault.recover" and e.outcome == "retried"]
+        assert len(recoveries) == 1
+        assert recoveries[0].reason == "pin-loss"
+        assert m.peek(c, BLOCK_SIZE) == bytes(
+            x & y for x, y in zip(da, db))
