@@ -56,8 +56,10 @@ from .errors import (
     OperandLocalityError,
     PageSpanError,
     PinnedLineError,
+    QueueFullError,
     ReproError,
     RunnerError,
+    ServeError,
 )
 from .events import (
     Event,
@@ -81,6 +83,15 @@ from .faults import (
     run_campaign,
 )
 from .machine import ComputeCacheMachine
+from .serve import (
+    BackgroundServer,
+    Job,
+    JobQueue,
+    JobService,
+    LoadgenConfig,
+    ReproServer,
+    run_loadgen,
+)
 from .params import (
     BACKENDS,
     BLOCK_SIZE,
@@ -148,6 +159,14 @@ __all__ = [
     # sweep runner
     "PointRunner",
     "Point",
+    # simulation service & load generator
+    "JobService",
+    "Job",
+    "JobQueue",
+    "ReproServer",
+    "BackgroundServer",
+    "LoadgenConfig",
+    "run_loadgen",
     # faults & resilience
     "FAULT_KINDS",
     "FaultPlan",
@@ -201,4 +220,6 @@ __all__ = [
     "ISAError",
     "RunnerError",
     "FaultPlanError",
+    "ServeError",
+    "QueueFullError",
 ]

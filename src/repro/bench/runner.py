@@ -43,7 +43,7 @@ from typing import Any
 from ..errors import RunnerError
 from ..events import EventTracer
 
-CACHE_SCHEMA = "repro.point-result/1"
+CACHE_SCHEMA = "repro.point-result/2"
 
 _CODE_FINGERPRINT: str | None = None
 
@@ -134,6 +134,15 @@ def _canonical(result: Any) -> Any:
     return json.loads(json.dumps(result, sort_keys=True, default=float))
 
 
+def result_digest(result: Any) -> str:
+    """Integrity hash of a (canonicalized) point result — stored in the
+    cache envelope and re-verified on every load, so a torn write or
+    bit-rotted file that still parses as JSON can never be served."""
+    from ..config_io import canonical_json
+
+    return hashlib.sha256(canonical_json(result).encode()).hexdigest()
+
+
 def _execute_point(fn_name: str, kwargs: dict[str, Any]) -> Any:
     """Worker-side entry: resolve the registry name and run the point.
     Module-level so it pickles under every multiprocessing start method."""
@@ -149,9 +158,14 @@ def _execute_point(fn_name: str, kwargs: dict[str, Any]) -> Any:
 class ResultCache:
     """JSON-per-point on-disk result cache.
 
-    One ``<key>.json`` envelope per point under ``directory``; unreadable,
-    corrupt, or schema-mismatched files are treated as misses (and
-    overwritten on the next store), never as errors.
+    One ``<key>.json`` envelope per point under ``directory``.  A load is
+    served only when the envelope parses, carries the current schema, its
+    ``result_sha256`` integrity digest matches the stored result, and —
+    when the caller states them — its provenance fields (``fn``,
+    ``backend``, ``code_version``) match the requesting point.  Anything
+    else (truncated or torn files, invalid UTF-8, bit rot, envelopes
+    copied between trees) is a **miss** that the next store overwrites —
+    never an error, never served.
     """
 
     def __init__(self, directory: str | os.PathLike = ".repro-cache") -> None:
@@ -160,15 +174,30 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    def load(self, key: str) -> Any | None:
-        """The cached result for ``key``, or ``None`` on a miss."""
+    def load(self, key: str, fn: str | None = None, backend: str | None = None,
+             code_version: str | None = None) -> Any | None:
+        """The cached result for ``key``, or ``None`` on a miss.
+
+        ``fn`` / ``backend`` / ``code_version``, when given, are checked
+        against the envelope's provenance fields — a mismatched envelope
+        (however it got there) is a miss, not a crash and not garbage.
+        """
         try:
             envelope = json.loads(self._path(key).read_text(encoding="utf-8"))
-        except (OSError, ValueError):
+        except (OSError, ValueError, RecursionError):
             return None
         if not isinstance(envelope, dict) or envelope.get("schema") != CACHE_SCHEMA:
             return None
         if "result" not in envelope:
+            return None
+        for field_name, expected in (("fn", fn), ("backend", backend),
+                                     ("code_version", code_version)):
+            if expected is not None and envelope.get(field_name) != expected:
+                return None
+        try:
+            if envelope.get("result_sha256") != result_digest(envelope["result"]):
+                return None
+        except (TypeError, ValueError, RecursionError):
             return None
         return envelope["result"]
 
@@ -182,6 +211,7 @@ class ResultCache:
             "backend": backend,
             "code_version": code_version,
             "result": result,
+            "result_sha256": result_digest(result),
         }
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
@@ -320,7 +350,9 @@ class PointRunner:
         owner_of_key: dict[str, int] = {}
         for i, (point, key) in enumerate(zip(points, keys)):
             if self.use_cache:
-                cached = self.cache.load(key)
+                cached = self.cache.load(
+                    key, fn=point.fn, backend=self.backend or default_backend(),
+                    code_version=code_fingerprint())
                 if cached is not None:
                     results[i] = cached
                     self.stats.cache_hits += 1

@@ -85,11 +85,21 @@ class FaultPlanError(ConfigError):
     """A fault-injection plan is malformed (unknown kind, bad probability)."""
 
 
+class ServeError(ReproError):
+    """A job submitted to the simulation service is invalid, or the
+    service cannot accept it (draining, stopped, unknown point function)."""
+
+
+class QueueFullError(ServeError):
+    """The service job queue is at its backpressure limit; the submitter
+    should retry later (HTTP 429 at the front end)."""
+
+
 from ._compat import deprecate_deep_imports
 
 deprecate_deep_imports(__name__, (
     "ReproError", "ConfigError", "AddressError", "OperandLocalityError",
     "ActivationLimitError", "DataCorruptionError", "PageSpanError",
     "PinnedLineError", "CoherenceError", "ECCError", "ISAError",
-    "RunnerError", "FaultPlanError",
+    "RunnerError", "FaultPlanError", "ServeError", "QueueFullError",
 ))

@@ -1,0 +1,230 @@
+"""Job model, scheduling order, and the persistent queue of ``repro serve``.
+
+A *job* is one simulation point (:mod:`repro.bench.points`) submitted to
+the long-lived service, carrying the same identity the sweep runner uses
+for its on-disk result cache: the content-hash :func:`~repro.bench.runner.point_key`
+over ``(fn, kwargs, backend, code fingerprint)`` plus the results-JSON
+**provenance header** (backend / code fingerprint / workload seeds).
+Key *and* provenance together are the cache-validity contract — two jobs
+may be deduplicated (served one computation) only when both match, which
+:func:`can_coalesce` enforces and ``tests/test_serve_property.py`` pins.
+
+Scheduling is a **total order**: higher ``priority`` first, FIFO
+(submission sequence) within a priority level — :func:`schedule_key` is
+the single definition, used by the heap-backed :class:`JobQueue` and by
+the property test that replays random submission interleavings.
+
+Persistence is an append-only JSONL journal (:class:`JobJournal`): every
+accepted job appends a ``submit`` record, every terminal transition a
+``done`` record, and a restarted service requeues the submit records
+that never reached ``done`` — jobs survive a crash or restart of the
+server process.  Corrupt journal lines (torn writes) are skipped, in the
+same miss-don't-crash spirit as the result cache.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+JOURNAL_SCHEMA = "repro.serve-journal/1"
+
+#: Job lifecycle states.  ``queued -> running -> done`` is the normal
+#: path; ``failed`` is terminal for errors, exhausted timeouts, and
+#: non-drain shutdowns.  Coalesced followers go ``queued -> done/failed``
+#: when their owner finishes.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TERMINAL_STATES = frozenset({DONE, FAILED})
+
+
+def new_job_id() -> str:
+    """Random 16-hex job id (unique across service restarts, so journal
+    replays never collide with fresh submissions)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Job:
+    """One service job: a simulation point plus its scheduling and
+    provenance metadata.
+
+    ``key`` is the sweep runner's content-hash cache key;  ``provenance``
+    is the results-JSON provenance header active when the job was
+    accepted.  ``source`` records how the result was obtained:
+    ``computed`` (a worker ran the point), ``cache`` (served from
+    ``.repro-cache/``), or ``coalesced`` (deduplicated onto an identical
+    in-flight job).
+    """
+
+    id: str
+    fn: str
+    kwargs: dict[str, Any]
+    key: str
+    provenance: dict[str, Any]
+    priority: int = 0
+    seq: int = 0
+    timeout_s: float | None = None
+    retries: int = 0
+    state: str = QUEUED
+    attempts: int = 0
+    source: str | None = None
+    result: Any = None
+    error: str | None = None
+    submitted_t: float = field(default_factory=time.time)
+    started_t: float | None = None
+    finished_t: float | None = None
+    dedup_of: str | None = None
+    progress: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def latency_s(self) -> float | None:
+        """Submit-to-terminal latency, ``None`` while in flight."""
+        if self.finished_t is None:
+            return None
+        return self.finished_t - self.submitted_t
+
+    def to_dict(self, with_result: bool = True) -> dict[str, Any]:
+        """The job document the HTTP front end returns."""
+        doc: dict[str, Any] = {
+            "id": self.id,
+            "fn": self.fn,
+            "kwargs": self.kwargs,
+            "key": self.key,
+            "provenance": self.provenance,
+            "priority": self.priority,
+            "state": self.state,
+            "attempts": self.attempts,
+            "source": self.source,
+            "error": self.error,
+            "dedup_of": self.dedup_of,
+            "submitted_t": self.submitted_t,
+            "finished_t": self.finished_t,
+            "latency_s": self.latency_s(),
+        }
+        if with_result:
+            doc["result"] = self.result
+        return doc
+
+
+def schedule_key(job: Job) -> tuple[int, int]:
+    """The total scheduling order: higher ``priority`` first, then FIFO
+    by submission sequence.  ``seq`` is unique per service, so this is a
+    strict total order — no two jobs ever compare equal."""
+    return (-job.priority, job.seq)
+
+
+def can_coalesce(owner: Job, candidate: Job) -> bool:
+    """Whether ``candidate`` may be deduplicated onto in-flight ``owner``.
+
+    Requires the full cache-validity contract: identical content-hash
+    *key* (which already folds in fn, kwargs — seeds included —, backend,
+    and code fingerprint) **and** an identical provenance header.  Jobs
+    whose provenance differs in any component are never coalesced, even
+    if their keys collided.
+    """
+    return owner.key == candidate.key and owner.provenance == candidate.provenance
+
+
+class JobQueue:
+    """Heap-backed priority-then-FIFO job queue (see :func:`schedule_key`)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[int, int], Job]] = []
+
+    def push(self, job: Job) -> None:
+        heapq.heappush(self._heap, (schedule_key(job), job))
+
+    def pop(self) -> Job | None:
+        """The scheduled-next job, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[1]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def drain(self) -> list[Job]:
+        """Remove and return every queued job in scheduling order."""
+        jobs = []
+        while self._heap:
+            jobs.append(heapq.heappop(self._heap)[1])
+        return jobs
+
+
+class JobJournal:
+    """Append-only JSONL journal that makes the queue persistent.
+
+    ``record_submit`` / ``record_done`` append one line each (flushed +
+    fsync'd so an accepted job survives a crash of the server process);
+    :meth:`pending` replays the file and returns the submit records that
+    never reached a terminal state, in original submission order.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        self._append({
+            "schema": JOURNAL_SCHEMA,
+            "event": "submit",
+            "id": job.id,
+            "fn": job.fn,
+            "kwargs": job.kwargs,
+            "key": job.key,
+            "provenance": job.provenance,
+            "priority": job.priority,
+            "timeout_s": job.timeout_s,
+            "retries": job.retries,
+            "dedup_of": job.dedup_of,
+        })
+
+    def record_done(self, job: Job) -> None:
+        self._append({
+            "schema": JOURNAL_SCHEMA,
+            "event": "done",
+            "id": job.id,
+            "state": job.state,
+        })
+
+    def pending(self) -> list[dict[str, Any]]:
+        """Submit records with no matching ``done``, submission-ordered."""
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return []
+        submits: dict[str, dict[str, Any]] = {}
+        for line in lines:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write at a crash point
+            if not isinstance(record, dict) or \
+                    record.get("schema") != JOURNAL_SCHEMA:
+                continue
+            if record.get("event") == "submit" and "id" in record:
+                submits.setdefault(record["id"], record)
+            elif record.get("event") == "done":
+                submits.pop(record.get("id"), None)
+        # Coalesced followers are resolved by their owner; a follower
+        # whose owner completed before the crash was journalled done,
+        # so whatever is left here re-runs independently.
+        return list(submits.values())

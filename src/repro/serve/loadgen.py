@@ -1,0 +1,337 @@
+"""Load generator for ``repro serve`` — the ``repro loadgen`` subcommand.
+
+Replays many concurrent job submissions against a service over a
+configurable **config-popularity distribution** (Zipf by default: a few
+popular machine/workload configurations dominate, exactly the traffic
+shape that makes the content-addressed cache pay for itself) and writes
+``BENCH_serve.json`` — the first entry of the repo's ``BENCH_*`` perf
+trajectory — containing p50/p99 job latency, throughput, the service's
+cache hit-rates, and a lost/duplicated-result audit.
+
+Every request is a ``POST /jobs?wait=1`` long-poll over a persistent
+keep-alive connection (one per concurrency slot), so the measured
+latency is the full submit-to-result path the service promises in its
+latency contract (``docs/serving.md``).  Correctness is audited
+client-side: every request must come back terminal-``done`` with a
+result, job ids must be unique (no response mixing), and all responses
+for the same catalog entry must be bit-identical.
+
+With no ``--url`` the generator spawns an in-process server on an
+ephemeral port (same event loop), which is what the CI smoke job uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..config_io import canonical_json
+from ..errors import ServeError
+
+BENCH_SCHEMA = "repro.bench-serve/1"
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation run (CLI flags map 1:1 onto these fields)."""
+
+    url: str | None = None          # None -> spawn an in-process server
+    requests: int = 1000
+    concurrency: int = 32
+    distinct: int = 50              # catalog size (distinct configurations)
+    distribution: str = "zipf"      # zipf | uniform
+    zipf_s: float = 1.1
+    seed: int = 0
+    point: str = "selftest"         # selftest | sleep | kernel
+    sleep_ms: float = 0.0           # per-job simulated work (point=sleep)
+    contract_p99_ms: float | None = None
+    wait_timeout_s: float = 300.0
+    # spawned-server knobs (ignored with --url):
+    workers: int = 4
+    cache_dir: str = ".repro-cache"
+    use_cache: bool = True
+    backend: str | None = None
+    max_queue: int = 4096
+
+
+def build_catalog(cfg: LoadgenConfig) -> list[dict[str, Any]]:
+    """The distinct job templates requests are sampled from."""
+    if cfg.point == "selftest":
+        return [{"fn": "selftest", "kwargs": {"value": i}}
+                for i in range(cfg.distinct)]
+    if cfg.point == "sleep":
+        return [{"fn": "sleep",
+                 "kwargs": {"seconds": cfg.sleep_ms / 1000.0, "value": i}}
+                for i in range(cfg.distinct)]
+    if cfg.point == "kernel":
+        from ..config_io import config_to_dict
+        from ..params import small_test_machine
+
+        machine = config_to_dict(small_test_machine())
+        kernels = ("copy", "logical", "cmp", "search")
+        sizes = (512, 1024, 2048, 4096)
+        catalog = [
+            {"fn": "kernel",
+             "kwargs": {"kernel": kernel, "config": "cc", "size": size,
+                        "machine": machine}}
+            for size in sizes for kernel in kernels
+        ]
+        return catalog[:cfg.distinct]
+    raise ServeError(f"unknown loadgen point kind {cfg.point!r}")
+
+
+def sample_indices(cfg: LoadgenConfig) -> list[int]:
+    """Deterministic per-request catalog indices under the popularity
+    distribution (rank r gets weight 1/r^s for Zipf)."""
+    rng = random.Random(cfg.seed)
+    n = max(1, min(cfg.distinct, cfg.requests))
+    if cfg.distribution == "uniform":
+        weights = [1.0] * n
+    elif cfg.distribution == "zipf":
+        weights = [1.0 / (rank ** cfg.zipf_s) for rank in range(1, n + 1)]
+    else:
+        raise ServeError(f"unknown distribution {cfg.distribution!r}")
+    return rng.choices(range(n), weights=weights, k=cfg.requests)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class _Client:
+    """One persistent keep-alive HTTP/1.1 connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, method: str, path: str,
+                      doc: Any = None) -> tuple[int, Any]:
+        """One request/response on the persistent connection, with one
+        transparent reconnect if the server closed it."""
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await self._roundtrip(method, path, doc)
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    async def _roundtrip(self, method: str, path: str,
+                         doc: Any) -> tuple[int, Any]:
+        assert self._reader is not None and self._writer is not None
+        body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n")
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        payload = await self._reader.readexactly(length) if length else b""
+        if headers.get("connection", "").lower() == "close":
+            await self.close()
+        return status, (json.loads(payload) if payload else None)
+
+
+@dataclass
+class _Outcome:
+    index: int
+    latency_s: float
+    status: int
+    job: dict[str, Any] | None
+    error: str | None = None
+
+
+async def run_loadgen(cfg: LoadgenConfig) -> dict[str, Any]:
+    """Run the workload and return the ``BENCH_serve.json`` document."""
+    spawned = None
+    if cfg.url is None:
+        from .service import JobService
+        from .web import ReproServer
+
+        service = JobService(workers=cfg.workers, cache_dir=cfg.cache_dir,
+                             use_cache=cfg.use_cache, backend=cfg.backend,
+                             max_queue=cfg.max_queue)
+        spawned = ReproServer(service)
+        await spawned.start()
+        host, port = spawned.host, spawned.port
+        url = spawned.url
+    else:
+        url = cfg.url.rstrip("/")
+        netloc = url.split("://", 1)[-1]
+        host, _, port_s = netloc.partition(":")
+        port = int(port_s or 80)
+
+    catalog = build_catalog(cfg)
+    indices = sample_indices(cfg)
+    pending = list(enumerate(indices))  # (request number, catalog index)
+    outcomes: list[_Outcome] = []
+
+    async def slot() -> None:
+        client = _Client(host, port)
+        try:
+            while pending:
+                _req_no, index = pending.pop()
+                template = catalog[index]
+                t0 = time.perf_counter()
+                try:
+                    status, doc = await client.request(
+                        "POST", "/jobs?wait=1",
+                        {**template, "wait_timeout_s": cfg.wait_timeout_s})
+                    outcomes.append(_Outcome(
+                        index=index, latency_s=time.perf_counter() - t0,
+                        status=status,
+                        job=doc if isinstance(doc, dict) else None))
+                except Exception as exc:
+                    outcomes.append(_Outcome(
+                        index=index, latency_s=time.perf_counter() - t0,
+                        status=0, job=None, error=str(exc)))
+        finally:
+            await client.close()
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(slot() for _ in range(max(1, cfg.concurrency))))
+    wall_s = time.perf_counter() - wall_start
+
+    stats_client = _Client(host, port)
+    try:
+        _, server_stats = await stats_client.request("GET", "/stats")
+    finally:
+        await stats_client.close()
+
+    if spawned is not None:
+        await spawned.stop(drain=True)
+
+    return _build_doc(cfg, url, outcomes, wall_s, server_stats)
+
+
+def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
+               wall_s: float, server_stats: dict[str, Any] | None
+               ) -> dict[str, Any]:
+    from ..bench.export import provenance
+
+    ok = [o for o in outcomes
+          if o.status == 200 and o.job is not None
+          and o.job.get("state") == "done" and "result" in o.job]
+    lost = cfg.requests - len(ok)
+    ids = [o.job["id"] for o in ok]
+    duplicated = len(ids) - len(set(ids))
+    by_index: dict[int, set[str]] = {}
+    for o in ok:
+        by_index.setdefault(o.index, set()).add(
+            canonical_json(o.job["result"]))
+    inconsistent = sum(1 for digests in by_index.values() if len(digests) > 1)
+    sources: dict[str, int] = {}
+    for o in ok:
+        source = o.job.get("source") or "?"
+        sources[source] = sources.get(source, 0) + 1
+
+    latencies = sorted(o.latency_s for o in ok)
+    p50_ms = percentile(latencies, 50) * 1000.0
+    p99_ms = percentile(latencies, 99) * 1000.0
+    contract_ok = (cfg.contract_p99_ms is None or
+                   (lost == 0 and duplicated == 0 and inconsistent == 0
+                    and p99_ms <= cfg.contract_p99_ms))
+
+    service_stats = (server_stats or {}).get("stats", {})
+    return {
+        "schema": BENCH_SCHEMA,
+        "provenance": provenance(),
+        "config": {
+            "url": url,
+            "requests": cfg.requests,
+            "concurrency": cfg.concurrency,
+            "distinct": len(build_catalog(cfg)),
+            "distribution": cfg.distribution,
+            "zipf_s": cfg.zipf_s,
+            "seed": cfg.seed,
+            "point": cfg.point,
+            "sleep_ms": cfg.sleep_ms,
+            "workers": cfg.workers if cfg.url is None else None,
+        },
+        "metrics": {
+            "completed": len(ok),
+            "lost": lost,
+            "duplicated": duplicated,
+            "inconsistent": inconsistent,
+            "wall_s": wall_s,
+            "throughput_jobs_per_s": len(ok) / wall_s if wall_s else 0.0,
+            "latency_ms": {
+                "p50": p50_ms,
+                "p90": percentile(latencies, 90) * 1000.0,
+                "p99": p99_ms,
+                "max": (latencies[-1] * 1000.0) if latencies else 0.0,
+                "mean": (sum(latencies) / len(latencies) * 1000.0)
+                if latencies else 0.0,
+            },
+            "sources": sources,
+            "server_hit_rate": service_stats.get("hit_rate"),
+            "server_tail_hit_rate": service_stats.get(
+                "duplicate_tail_hit_rate"),
+        },
+        "server_stats": server_stats,
+        "contract": {
+            "p99_ms_limit": cfg.contract_p99_ms,
+            "passed": contract_ok,
+        },
+    }
+
+
+def summarize(doc: dict[str, Any]) -> str:
+    """The grep-friendly ``loadgen:`` summary line."""
+    m = doc["metrics"]
+    lat = m["latency_ms"]
+    line = (
+        f"loadgen: requests={doc['config']['requests']} "
+        f"completed={m['completed']} lost={m['lost']} "
+        f"duplicated={m['duplicated']} inconsistent={m['inconsistent']} "
+        f"p50_ms={lat['p50']:.2f} p99_ms={lat['p99']:.2f} "
+        f"throughput={m['throughput_jobs_per_s']:.1f}/s"
+    )
+    hit = m.get("server_hit_rate")
+    tail = m.get("server_tail_hit_rate")
+    if hit is not None:
+        line += f" hit_rate={100.0 * hit:.1f}%"
+    if tail is not None:
+        line += f" tail_hit_rate={100.0 * tail:.1f}%"
+    return line

@@ -1,0 +1,514 @@
+"""The asyncio job service behind ``repro serve``.
+
+:class:`JobService` lifts the PR 3 :class:`~repro.bench.runner.PointRunner`
+into a long-lived simulation-as-a-service layer:
+
+* **Submission** validates the point function and kwargs, applies
+  **backpressure** (a full queue raises
+  :class:`~repro.errors.QueueFullError` — HTTP 429 at the front end), and
+  resolves three tiers of **dedup** before any compute happens:
+
+  1. a content-hash hit in the shared ``.repro-cache/`` (verified against
+     the requesting job's fn/backend/code-fingerprint provenance — the
+     same cache-validity contract the sweep runner uses) completes the
+     job instantly (``source="cache"``);
+  2. an identical job already queued or running becomes this job's
+     *owner* and the new job a *follower* (``source="coalesced"``) —
+     but only when :func:`~repro.serve.jobs.can_coalesce` says key *and*
+     provenance header match;
+  3. otherwise the job enters the priority-then-FIFO
+     :class:`~repro.serve.jobs.JobQueue`.
+
+* **Execution**: ``workers`` asyncio worker tasks pop jobs in scheduling
+  order and run each point on a thread through a per-worker
+  ``PointRunner`` (which canonicalizes the result and stores it into the
+  shared cache).  A per-job wall-clock **timeout** bounds each attempt;
+  timed-out jobs are retried up to ``retries`` times and then failed.
+  :class:`~repro.faults.RunnerChaos` installs into the per-worker
+  runners through the same ``_make_pool`` seam the fault campaigns use,
+  so worker crashes/timeouts inside the service degrade to the runner's
+  serial fallback instead of losing jobs.
+
+* **Progress** is streamed two ways: every transition appends a record
+  to ``job.progress`` (the NDJSON stream of ``GET /jobs/<id>/events``)
+  and emits a ``serve.job`` event into the PR 2
+  :class:`~repro.events.EventTracer`, so service behaviour shows up in
+  the same observability pipeline as simulated cycles.
+
+* **Shutdown**: :meth:`JobService.stop` with ``drain=True`` stops
+  accepting work, lets the workers empty the queue, and returns;
+  ``drain=False`` cancels the workers and fails whatever was in flight.
+  With a journal configured, accepted-but-unfinished jobs are requeued
+  on the next :meth:`start`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator
+
+from ..bench.points import POINT_FUNCTIONS, WORKLOAD_SEEDS
+from ..bench.runner import (
+    PointRunner,
+    Point,
+    ResultCache,
+    code_fingerprint,
+    default_backend,
+    point_key,
+)
+from ..config_io import canonical_json
+from ..errors import QueueFullError, ServeError
+from ..events import EventTracer
+from .jobs import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobJournal,
+    JobQueue,
+    can_coalesce,
+    new_job_id,
+)
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (the ``/stats`` document and the
+    ``serve-stats:`` summary line CI greps)."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    computed: int = 0
+    timeouts: int = 0
+    retries: int = 0
+
+    def hits(self) -> int:
+        """Jobs served without a fresh computation."""
+        return self.cache_hits + self.coalesced
+
+    def hit_rate(self) -> float:
+        """Hits over all accepted jobs."""
+        return self.hits() / self.submitted if self.submitted else 0.0
+
+    def duplicate_tail_hit_rate(self) -> float:
+        """Hits over the *duplicate tail* — accepted jobs beyond the
+        first occurrence of each distinct configuration.  This is the
+        rate the CI loadgen smoke pins at >= 90%: first-ever requests
+        must compute, repeats must not."""
+        tail = self.submitted - self.computed - self.failed
+        return self.hits() / tail if tail > 0 else 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "computed": self.computed,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "hit_rate": self.hit_rate(),
+            "duplicate_tail_hit_rate": self.duplicate_tail_hit_rate(),
+        }
+
+    def line(self) -> str:
+        return (
+            f"serve-stats: submitted={self.submitted} "
+            f"completed={self.completed} failed={self.failed} "
+            f"rejected={self.rejected} cache_hits={self.cache_hits} "
+            f"coalesced={self.coalesced} computed={self.computed} "
+            f"timeouts={self.timeouts} retries={self.retries} "
+            f"hit_rate={100.0 * self.hit_rate():.1f}% "
+            f"tail_hit_rate={100.0 * self.duplicate_tail_hit_rate():.1f}%"
+        )
+
+
+class JobService:
+    """Long-lived simulation job service (see the module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Concurrent asyncio worker tasks, each with its own serial
+        :class:`PointRunner` (points execute on threads; the runners
+        share the on-disk cache, whose atomic tmp-file + rename stores
+        make concurrent writers safe).
+    cache_dir / use_cache:
+        The shared content-addressed result cache — the dedup substrate.
+    backend:
+        Execution backend folded into every job's cache key and
+        provenance header (default: the machine-config default).
+    max_queue:
+        Backpressure limit: submissions beyond this many *queued* jobs
+        raise :class:`QueueFullError`.
+    timeout_s / retries:
+        Default per-job wall-clock timeout and retry budget (submissions
+        may override per job).
+    tracer:
+        ``serve.job`` events sink (a private one is created if absent).
+    journal_path:
+        Enables the persistent queue journal (see
+        :class:`~repro.serve.jobs.JobJournal`).
+    chaos / pool_jobs:
+        ``RunnerChaos`` to install on every worker runner (fault
+        campaigns against the service).  Chaos engages the runner's pool
+        seam, so it forces ``pool_jobs`` (per-worker runner processes) to
+        at least 2; without chaos the default 1 executes points serially
+        on the worker's thread.
+    """
+
+    def __init__(self, workers: int = 4, cache_dir: str = ".repro-cache",
+                 use_cache: bool = True, backend: str | None = None,
+                 max_queue: int = 1024, timeout_s: float | None = 60.0,
+                 retries: int = 1, tracer: EventTracer | None = None,
+                 journal_path: str | None = None, chaos=None,
+                 pool_jobs: int = 1) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        self.backend = backend
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.use_cache = use_cache
+        self.cache = ResultCache(cache_dir)
+        self.tracer = tracer if tracer is not None else EventTracer(capacity=1 << 16)
+        self.stats = ServiceStats()
+        self.queue = JobQueue()
+        self.jobs: dict[str, Job] = {}
+        self.journal = JobJournal(journal_path) if journal_path else None
+        if chaos is not None:
+            pool_jobs = max(2, pool_jobs)
+        self.runners = [
+            PointRunner(jobs=pool_jobs, cache_dir=cache_dir,
+                        use_cache=use_cache, timeout_s=timeout_s,
+                        retries=retries, backend=backend,
+                        tracer=self.tracer)
+            for _ in range(workers)
+        ]
+        if chaos is not None:
+            for runner in self.runners:
+                chaos.install(runner)
+        self._seq = itertools.count()
+        self._inflight: dict[str, Job] = {}          # key -> owner job
+        self._followers: dict[str, list[Job]] = {}   # owner id -> followers
+        self._queue_cond = asyncio.Condition()
+        self._progress_cond = asyncio.Condition()
+        self._worker_tasks: list[asyncio.Task] = []
+        self._draining = False
+        self._stopped = False
+
+    # -- provenance -------------------------------------------------------------------
+
+    def provenance(self) -> dict[str, Any]:
+        """The provenance header stamped on every accepted job — the
+        same fields :func:`repro.bench.export.provenance` pins on
+        results JSON (minus the git commit, which can differ between
+        equivalent trees)."""
+        return {
+            "backend": self.backend or default_backend(),
+            "code_version": code_fingerprint(),
+            "workload_seeds": dict(WORKLOAD_SEEDS),
+        }
+
+    # -- submission -------------------------------------------------------------------
+
+    async def submit(self, fn: str, kwargs: dict[str, Any] | None = None,
+                     priority: int = 0, timeout_s: float | None = None,
+                     retries: int | None = None) -> Job:
+        """Accept one job; returns it already-completed on a cache hit,
+        queued (or coalesced onto an in-flight owner) otherwise."""
+        if self._draining or self._stopped:
+            raise ServeError("service is draining; not accepting jobs")
+        kwargs = dict(kwargs or {})
+        if fn not in POINT_FUNCTIONS:
+            raise ServeError(
+                f"unknown point function {fn!r} "
+                f"(known: {', '.join(sorted(POINT_FUNCTIONS))})")
+        try:
+            canonical_json(kwargs)
+        except (TypeError, ValueError) as exc:
+            raise ServeError(f"job kwargs are not JSON-serializable: {exc}") \
+                from exc
+        if len(self.queue) >= self.max_queue:
+            self.stats.rejected += 1
+            raise QueueFullError(
+                f"job queue is at its backpressure limit ({self.max_queue})")
+        backend = self.backend or default_backend()
+        job = Job(
+            id=new_job_id(), fn=fn, kwargs=kwargs,
+            key=point_key(fn, kwargs, backend, code_fingerprint()),
+            provenance=self.provenance(), priority=priority,
+            seq=next(self._seq),
+            timeout_s=self.timeout_s if timeout_s is None else timeout_s,
+            retries=self.retries if retries is None else retries,
+        )
+        self.jobs[job.id] = job
+        self.stats.submitted += 1
+        if self.journal:
+            self.journal.record_submit(job)
+
+        if self.use_cache:
+            cached = self.cache.load(job.key, fn=fn, backend=backend,
+                                     code_version=code_fingerprint())
+            if cached is not None:
+                self.stats.cache_hits += 1
+                await self._complete(job, cached, source="cache")
+                return job
+
+        owner = self._inflight.get(job.key)
+        if owner is not None and not owner.done and can_coalesce(owner, job):
+            job.dedup_of = owner.id
+            job.source = "coalesced"
+            self._followers.setdefault(owner.id, []).append(job)
+            self.stats.coalesced += 1
+            await self._note(job, "coalesced", outcome=owner.id)
+            return job
+
+        self._inflight[job.key] = job
+        async with self._queue_cond:
+            self.queue.push(job)
+            self._queue_cond.notify()
+        await self._note(job, "queued")
+        return job
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Replay the journal (if any) and spawn the worker tasks."""
+        if self._worker_tasks:
+            raise ServeError("service already started")
+        self._draining = False
+        self._stopped = False
+        if self.journal:
+            for record in self.journal.pending():
+                job = Job(
+                    id=record["id"], fn=record["fn"],
+                    kwargs=record.get("kwargs", {}), key=record["key"],
+                    provenance=record.get("provenance", self.provenance()),
+                    priority=record.get("priority", 0), seq=next(self._seq),
+                    timeout_s=record.get("timeout_s", self.timeout_s),
+                    retries=record.get("retries", self.retries),
+                )
+                # Stale provenance (e.g. the code changed between runs)
+                # means the journalled key no longer matches this tree;
+                # re-key so the job recomputes under the current code.
+                if job.provenance != self.provenance():
+                    job.provenance = self.provenance()
+                    job.key = point_key(job.fn, job.kwargs,
+                                        self.backend or default_backend(),
+                                        code_fingerprint())
+                self.jobs[job.id] = job
+                self.stats.submitted += 1
+                if job.key not in self._inflight:
+                    self._inflight[job.key] = job
+                    self.queue.push(job)
+                    await self._note(job, "requeued")
+                else:
+                    owner = self._inflight[job.key]
+                    job.dedup_of = owner.id
+                    job.source = "coalesced"
+                    self._followers.setdefault(owner.id, []).append(job)
+                    self.stats.coalesced += 1
+        self._worker_tasks = [
+            asyncio.create_task(self._worker(runner), name=f"serve-worker-{i}")
+            for i, runner in enumerate(self.runners)
+        ]
+
+    async def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service: drain (default) or cancel-and-fail."""
+        self._draining = True
+        async with self._queue_cond:
+            self._queue_cond.notify_all()
+        if drain:
+            if self._worker_tasks:
+                await asyncio.wait_for(
+                    asyncio.gather(*self._worker_tasks, return_exceptions=True),
+                    timeout)
+        else:
+            for task in self._worker_tasks:
+                task.cancel()
+            if self._worker_tasks:
+                await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+            for job in self.queue.drain():
+                await self._fail(job, "shutdown", "service stopped before "
+                                                  "the job ran")
+            for job in list(self.jobs.values()):
+                if not job.done and job.state == RUNNING:
+                    await self._fail(job, "shutdown", "service stopped while "
+                                                      "the job was running")
+        self._worker_tasks = []
+        self._stopped = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- waiting / streaming ----------------------------------------------------------
+
+    async def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        job = self.jobs[job_id]
+        async with self._progress_cond:
+            await asyncio.wait_for(
+                self._progress_cond.wait_for(lambda: job.done), timeout)
+        return job
+
+    async def stream_progress(self, job_id: str) -> AsyncIterator[dict[str, Any]]:
+        """Yield the job's progress records as they happen, ending once
+        the job is terminal and every record has been delivered."""
+        job = self.jobs[job_id]
+        delivered = 0
+        while True:
+            async with self._progress_cond:
+                await self._progress_cond.wait_for(
+                    lambda: len(job.progress) > delivered or job.done)
+            while delivered < len(job.progress):
+                yield job.progress[delivered]
+                delivered += 1
+            if job.done:
+                return
+
+    # -- internals --------------------------------------------------------------------
+
+    async def _note(self, job: Job, phase: str, span: float = 0.0,
+                    outcome: str | None = None) -> None:
+        """Record one progress transition: job-local NDJSON record plus a
+        ``serve.job`` event in the shared tracer; wakes waiters."""
+        job.progress.append({
+            "t": time.time(), "job": job.id, "phase": phase,
+            "state": job.state, "span": span, "outcome": outcome,
+        })
+        self.tracer.emit("serve.job", phase=phase, span=span,
+                         opcode=job.fn, reason=job.id, outcome=outcome)
+        async with self._progress_cond:
+            self._progress_cond.notify_all()
+
+    async def _complete(self, job: Job, result: Any,
+                        source: str) -> None:
+        job.result = result
+        job.state = DONE
+        job.source = source
+        job.finished_t = time.time()
+        self.stats.completed += 1
+        if self.journal:
+            self.journal.record_done(job)
+        await self._note(job, "done", span=job.latency_s() or 0.0,
+                         outcome=source)
+        await self._resolve_followers(job)
+
+    async def _fail(self, job: Job, phase: str, error: str) -> None:
+        job.state = FAILED
+        job.error = error
+        job.finished_t = time.time()
+        self.stats.failed += 1
+        if self.journal:
+            self.journal.record_done(job)
+        await self._note(job, phase, span=job.latency_s() or 0.0,
+                         outcome="failed")
+        await self._resolve_followers(job)
+
+    async def _resolve_followers(self, owner: Job) -> None:
+        if self._inflight.get(owner.key) is owner:
+            del self._inflight[owner.key]
+        for follower in self._followers.pop(owner.id, []):
+            if owner.state == DONE:
+                follower.result = owner.result
+                follower.state = DONE
+                follower.finished_t = time.time()
+                self.stats.completed += 1
+                if self.journal:
+                    self.journal.record_done(follower)
+                await self._note(follower, "done",
+                                 span=follower.latency_s() or 0.0,
+                                 outcome="coalesced")
+            else:
+                await self._fail(follower, "failed",
+                                 f"coalesced owner {owner.id} failed: "
+                                 f"{owner.error}")
+
+    async def _worker(self, runner: PointRunner) -> None:
+        while True:
+            async with self._queue_cond:
+                await self._queue_cond.wait_for(
+                    lambda: len(self.queue) > 0 or self._draining)
+                job = self.queue.pop()
+            if job is None:
+                if self._draining:
+                    return
+                continue
+            await self._run_job(job, runner)
+
+    async def _run_job(self, job: Job, runner: PointRunner) -> None:
+        job.state = RUNNING
+        job.started_t = time.time()
+        await self._note(job, "start")
+        point = Point(fn=job.fn, kwargs=job.kwargs, label=job.id)
+        while True:
+            job.attempts += 1
+            start = time.perf_counter()
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.to_thread(lambda: runner.run([point])[0]),
+                    timeout=job.timeout_s)
+            except asyncio.TimeoutError:
+                self.stats.timeouts += 1
+                await self._note(job, "timeout",
+                                 span=time.perf_counter() - start)
+                if job.attempts <= job.retries:
+                    self.stats.retries += 1
+                    await self._note(job, "retry")
+                    continue
+                await self._fail(
+                    job, "timeout",
+                    f"timed out after {job.attempts} attempt(s) of "
+                    f"{job.timeout_s}s")
+                return
+            except asyncio.CancelledError:
+                await self._fail(job, "shutdown",
+                                 "service stopped while the job was running")
+                raise
+            except Exception as exc:
+                await self._fail(job, "failed", str(exc))
+                return
+            self.stats.computed += 1
+            await self._complete(job, result, source="computed")
+            return
+
+    # -- reporting --------------------------------------------------------------------
+
+    def runner_stats(self) -> dict[str, int]:
+        """Aggregated per-worker runner counters (cache traffic on the
+        compute path, chaos-driven fallbacks)."""
+        totals: dict[str, int] = {
+            "points": 0, "cache_hits": 0, "computed": 0, "timeouts": 0,
+            "retries": 0, "serial_fallbacks": 0, "failures": 0,
+        }
+        for runner in self.runners:
+            for key in totals:
+                totals[key] += getattr(runner.stats, key)
+        return totals
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ``/stats`` document."""
+        return {
+            "schema": "repro.serve-stats/1",
+            "provenance": self.provenance(),
+            "workers": len(self.runners),
+            "queue_depth": len(self.queue),
+            "draining": self._draining,
+            "jobs_tracked": len(self.jobs),
+            "stats": self.stats.to_dict(),
+            "runner": self.runner_stats(),
+        }

@@ -1,0 +1,303 @@
+"""Minimal asyncio HTTP/1.1 front end for the job service.
+
+Pure standard library (``asyncio`` streams — the container images this
+runs in carry no HTTP framework), supporting exactly what the service
+and its load generator need: keep-alive connections, JSON request
+bodies, JSON responses with ``Content-Length``, and one close-delimited
+NDJSON streaming endpoint.
+
+Endpoints (see ``docs/serving.md`` for the full schema):
+
+=====================  ==============================================
+``GET  /healthz``       liveness + draining flag
+``GET  /stats``         service/runner counters + provenance header
+``POST /jobs``          submit a job; ``?wait=1`` long-polls until the
+                        job is terminal and returns the full document
+``GET  /jobs/<id>``     job document (result included when terminal)
+``GET  /jobs/<id>/events``  NDJSON progress stream until terminal
+``POST /admin/drain``   graceful drain; responds immediately and stops
+                        the server once the queue is empty
+=====================  ==============================================
+
+Error mapping: invalid submissions are 400, unknown jobs 404, a full
+queue 429 (with ``Retry-After``), a draining service 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, urlsplit
+
+from ..errors import QueueFullError, ServeError
+from .service import JobService
+
+_MAX_BODY = 8 << 20  # 8 MiB: far above any job document, bounds memory
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> Any:
+        if not self.body:
+            return {}
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+def json_response(doc: Any, status: int = 200, **headers: str) -> Response:
+    body = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers))
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed socket."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+        return None
+    if not line or not line.strip():
+        return None
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return None
+    headers: dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > _MAX_BODY:
+        return None
+    body = await reader.readexactly(length) if length else b""
+    parts = urlsplit(target)
+    return Request(method=method.upper(), path=parts.path,
+                   query=dict(parse_qsl(parts.query)), headers=headers,
+                   body=body)
+
+
+def write_response(writer: asyncio.StreamWriter, response: Response,
+                   keep_alive: bool = True) -> None:
+    reason = _REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    head.extend(f"{k}: {v}" for k, v in response.headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+
+
+class ReproServer:
+    """``asyncio.start_server`` wrapper routing requests to a
+    :class:`JobService`.  ``port=0`` binds an ephemeral port (the bound
+    port is available as :attr:`port` after :meth:`start`)."""
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._closed = asyncio.Event()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`stop` (or a drained ``/admin/drain``)."""
+        await self._closed.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop(drain=drain)
+        self._closed.set()
+
+    # -- connection handling ----------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                if request.method == "GET" and request.path.endswith("/events") \
+                        and request.path.startswith("/jobs/"):
+                    await self._stream_events(request, writer)
+                    break  # close-delimited stream ends the connection
+                try:
+                    response = await self._route(request)
+                except QueueFullError as exc:
+                    response = json_response({"error": str(exc)}, status=429,
+                                             **{"Retry-After": "1"})
+                except ServeError as exc:
+                    status = 503 if self.service.draining else 400
+                    response = json_response({"error": str(exc)}, status=status)
+                except (ValueError, KeyError) as exc:
+                    response = json_response({"error": f"bad request: {exc}"},
+                                             status=400)
+                keep = request.keep_alive
+                write_response(writer, response, keep_alive=keep)
+                await writer.drain()
+                if not keep:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, request: Request) -> Response:
+        method, path = request.method, request.path
+        if path == "/healthz" and method == "GET":
+            return json_response({"ok": True,
+                                  "draining": self.service.draining})
+        if path == "/stats" and method == "GET":
+            return json_response(self.service.to_dict())
+        if path == "/jobs" and method == "POST":
+            return await self._submit(request)
+        if path.startswith("/jobs/") and method == "GET":
+            job_id = path[len("/jobs/"):]
+            job = self.service.jobs.get(job_id)
+            if job is None:
+                return json_response({"error": f"unknown job {job_id!r}"},
+                                     status=404)
+            return json_response(job.to_dict(with_result=job.done))
+        if path == "/admin/drain" and method == "POST":
+            asyncio.get_running_loop().create_task(self.stop(drain=True))
+            return json_response({"ok": True, "draining": True})
+        return json_response({"error": f"no route {method} {path}"},
+                             status=404 if method == "GET" else 405)
+
+    async def _submit(self, request: Request) -> Response:
+        doc = request.json()
+        if not isinstance(doc, dict) or "fn" not in doc:
+            return json_response(
+                {"error": "body must be a JSON object with at least 'fn'"},
+                status=400)
+        job = await self.service.submit(
+            fn=doc["fn"], kwargs=doc.get("kwargs") or {},
+            priority=int(doc.get("priority", 0)),
+            timeout_s=doc.get("timeout_s"), retries=doc.get("retries"))
+        wait = request.query.get("wait", "") not in ("", "0") \
+            or bool(doc.get("wait"))
+        if wait:
+            timeout = doc.get("wait_timeout_s")
+            job = await self.service.wait(
+                job.id, timeout=float(timeout) if timeout else None)
+            return json_response(job.to_dict())
+        return json_response(job.to_dict(with_result=job.done), status=202)
+
+    async def _stream_events(self, request: Request,
+                             writer: asyncio.StreamWriter) -> None:
+        job_id = request.path[len("/jobs/"):-len("/events")]
+        if job_id not in self.service.jobs:
+            write_response(writer,
+                           json_response({"error": f"unknown job {job_id!r}"},
+                                         status=404),
+                           keep_alive=False)
+            await writer.drain()
+            return
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        async for record in self.service.stream_progress(job_id):
+            writer.write((json.dumps(record, sort_keys=True) + "\n").encode())
+            await writer.drain()
+
+
+class BackgroundServer:
+    """A :class:`ReproServer` running on its own thread + event loop.
+
+    The synchronous harness tests and anything else outside an event
+    loop use this: ``with BackgroundServer(workers=2) as url: ...``.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self._service_kwargs = service_kwargs
+        self._thread = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self.url: str | None = None
+        self.service: JobService | None = None
+
+    def start(self, timeout: float = 10.0) -> str:
+        import threading
+
+        ready = threading.Event()
+
+        def run() -> None:
+            asyncio.run(self._main(ready))
+
+        self._thread = threading.Thread(target=run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise ServeError("background server failed to start")
+        assert self.url is not None
+        return self.url
+
+    async def _main(self, ready) -> None:
+        self.service = JobService(**self._service_kwargs)
+        server = ReproServer(self.service)
+        await server.start()
+        self.url = server.url
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        ready.set()
+        await self._stop_event.wait()
+        await server.stop(drain=True)
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> str:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

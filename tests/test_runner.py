@@ -107,10 +107,12 @@ class TestCacheHitMiss:
         runner = PointRunner(cache_dir=tmp_path, use_cache=True)
         runner.run([small_kernel_point()])
         envelope = json.loads(next(tmp_path.glob("*.json")).read_text())
-        assert envelope["schema"] == "repro.point-result/1"
+        assert envelope["schema"] == "repro.point-result/2"
         assert envelope["fn"] == "kernel"
         assert envelope["backend"] == "packed"
         assert envelope["code_version"] == code_fingerprint()
+        assert envelope["result_sha256"] == runner_mod.result_digest(
+            envelope["result"])
 
     def test_no_cache_never_touches_disk(self, tmp_path):
         runner = PointRunner(cache_dir=tmp_path / "cache", use_cache=False)
@@ -244,3 +246,151 @@ class TestResultCacheUnit:
         (tmp_path / ("s" * 64 + ".json")).write_text(
             json.dumps({"schema": "other/1", "result": 1}))
         assert cache.load("s" * 64) is None
+
+
+class TestResultCacheCorruption:
+    """The miss-don't-crash, never-serve-garbage contract: any damaged,
+    torn, or foreign envelope must read as a cache miss, after which a
+    recompute overwrites it with a good one."""
+
+    KEY = "c" * 64
+
+    def stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(self.KEY, Point("selftest", {"value": 3}),
+                    "packed", "v1", {"value": 3, "doubled": 6})
+        return cache, tmp_path / (self.KEY + ".json")
+
+    def test_truncated_envelope_is_miss(self, tmp_path):
+        cache, path = self.stored(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.load(self.KEY) is None
+
+    def test_invalid_utf8_is_miss(self, tmp_path):
+        cache, path = self.stored(tmp_path)
+        path.write_bytes(b"\xff\xfe garbage \x00" * 16)
+        assert cache.load(self.KEY) is None
+
+    def test_bitrotted_result_fails_integrity_digest(self, tmp_path):
+        # The envelope still parses and carries the right schema and
+        # provenance — only the result payload changed.  Before the
+        # result_sha256 digest this was served as truth.
+        cache, path = self.stored(tmp_path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["result"]["doubled"] = 7777
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.load(self.KEY) is None
+
+    def test_non_dict_envelope_is_miss(self, tmp_path):
+        cache, path = self.stored(tmp_path)
+        path.write_text(json.dumps(["not", "an", "envelope"]))
+        assert cache.load(self.KEY) is None
+
+    def test_missing_result_field_is_miss(self, tmp_path):
+        cache, path = self.stored(tmp_path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        del envelope["result"]
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.load(self.KEY) is None
+
+    def test_provenance_mismatch_is_miss(self, tmp_path):
+        cache, _path = self.stored(tmp_path)
+        assert cache.load(self.KEY, fn="selftest", backend="packed",
+                          code_version="v1") is not None
+        assert cache.load(self.KEY, fn="kernel") is None
+        assert cache.load(self.KEY, backend="bitexact") is None
+        assert cache.load(self.KEY, code_version="v2") is None
+
+    def test_legacy_schema_envelope_is_miss(self, tmp_path):
+        cache, path = self.stored(tmp_path)
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["schema"] = "repro.point-result/1"
+        del envelope["result_sha256"]
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.load(self.KEY) is None
+
+    def test_runner_recomputes_over_corruption(self, tmp_path):
+        """End to end: a corrupted entry is recomputed and the repaired
+        envelope serves subsequent runs bit-identically."""
+        [fresh] = PointRunner(cache_dir=tmp_path, use_cache=True).run(
+            [small_kernel_point()])
+        [path] = tmp_path.glob("*.json")
+        envelope = json.loads(path.read_text(encoding="utf-8"))
+        envelope["result"]["cycles"] = -1  # plausible-looking garbage
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+
+        repair = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [recomputed] = repair.run([small_kernel_point()])
+        assert repair.stats.cache_hits == 0 and repair.stats.computed == 1
+        assert recomputed == fresh
+
+        warm = PointRunner(cache_dir=tmp_path, use_cache=True)
+        [served] = warm.run([small_kernel_point()])
+        assert warm.stats.cache_hits == 1
+        assert json.dumps(served, sort_keys=True) == \
+            json.dumps(fresh, sort_keys=True)
+
+
+class TestChaosFallbackCoverage:
+    """PointRunner timeout and serial-fallback paths under RunnerChaos
+    (injected worker crashes/timeouts through the pool seam)."""
+
+    def chaos(self, kind, max_injections=0, seed=3):
+        """A chaos injector always firing ``kind`` (0 = uncapped)."""
+        from repro.faults import FaultPlan, FaultSpec, RunnerChaos
+
+        return RunnerChaos(FaultPlan(seed=seed, specs=(
+            FaultSpec(kind=kind, probability=1.0,
+                      max_injections=max_injections),)))
+
+    def test_crash_chaos_every_point_survives_via_serial_fallback(self):
+        runner = PointRunner(jobs=2, use_cache=False, timeout_s=30.0,
+                             retries=0)
+        self.chaos("runner.crash").install(runner)
+        points = [Point("selftest", {"value": v}) for v in range(4)]
+        results = runner.run(points)
+        assert [r["doubled"] for r in results] == [0, 2, 4, 6]
+        assert runner.stats.serial_fallbacks == 4
+        assert runner.stats.computed == 4
+        phases = [e.phase for e in runner.tracer.by_kind("runner.point")]
+        assert phases.count("serial-fallback") == 4
+
+    def test_timeout_chaos_exercises_retry_then_fallback(self):
+        runner = PointRunner(jobs=2, use_cache=False, timeout_s=0.2,
+                             retries=1)
+        self.chaos("runner.timeout").install(runner)
+        points = [Point("selftest", {"value": v}) for v in (5, 6)]
+        results = runner.run(points)
+        assert [r["doubled"] for r in results] == [10, 12]
+        # Every attempt times out, so each point burns its full retry
+        # budget (initial + 1 retry) before the serial fallback runs it.
+        assert runner.stats.timeouts == 4
+        assert runner.stats.retries == 2
+        assert runner.stats.serial_fallbacks == 2
+        phases = [e.phase for e in runner.tracer.by_kind("runner.point")]
+        assert phases.count("timeout") == 4
+        assert phases.count("serial-fallback") == 2
+
+    def test_chaos_results_bit_identical_to_chaos_free(self):
+        points = [small_kernel_point(k) for k in ("copy", "search")]
+        clean = PointRunner(jobs=2, use_cache=False).run(points)
+        chaotic_runner = PointRunner(jobs=2, use_cache=False,
+                                     timeout_s=30.0, retries=1)
+        self.chaos("runner.crash").install(chaotic_runner)
+        chaotic = chaotic_runner.run(points)
+        assert json.dumps(clean, sort_keys=True) == \
+            json.dumps(chaotic, sort_keys=True)
+        assert chaotic_runner.stats.serial_fallbacks > 0
+
+    def test_capped_chaos_recovers_pool_execution(self):
+        # One injected crash, then the pool behaves: only the first
+        # affected batch falls back, later batches use the pool again.
+        runner = PointRunner(jobs=2, use_cache=False, timeout_s=30.0,
+                             retries=0)
+        self.chaos("runner.crash", max_injections=1).install(runner)
+        first = runner.run([Point("selftest", {"value": 1})])
+        fallbacks_after_first = runner.stats.serial_fallbacks
+        second = runner.run([Point("selftest", {"value": 2})])
+        assert first[0]["doubled"] == 2 and second[0]["doubled"] == 4
+        assert runner.stats.serial_fallbacks == fallbacks_after_first

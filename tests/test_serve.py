@@ -1,0 +1,366 @@
+"""Unit tests of the simulation job service (repro.serve): queue order,
+journal persistence, dedup tiers, timeout/retry, backpressure, drain,
+progress streaming, and chaos-degraded workers."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import FaultPlan, FaultSpec, JobService, RunnerChaos
+from repro.bench.points import selftest_point
+from repro.errors import QueueFullError, ServeError
+from repro.serve.jobs import Job, JobJournal, JobQueue, schedule_key
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_job(seq, priority=0, key="k", provenance=None, job_id=None):
+    return Job(id=job_id or f"job{seq}", fn="selftest", kwargs={"value": seq},
+               key=key, provenance=provenance or {"backend": "packed"},
+               priority=priority, seq=seq)
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        for seq, priority in enumerate([0, 5, 1, 5, 0]):
+            queue.push(make_job(seq, priority))
+        order = [queue.pop().seq for _ in range(5)]
+        assert order == [1, 3, 2, 0, 4]  # priority desc, FIFO within
+
+    def test_pop_empty_is_none(self):
+        assert JobQueue().pop() is None
+
+    def test_drain_returns_scheduling_order(self):
+        queue = JobQueue()
+        jobs = [make_job(seq, priority=seq % 3) for seq in range(7)]
+        for job in jobs:
+            queue.push(job)
+        drained = queue.drain()
+        assert drained == sorted(jobs, key=schedule_key)
+        assert len(queue) == 0
+
+
+class TestJobJournal:
+    def test_pending_replays_unfinished_submits(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        a, b = make_job(0, job_id="a"), make_job(1, job_id="b")
+        journal.record_submit(a)
+        journal.record_submit(b)
+        a.state = "done"
+        journal.record_done(a)
+        pending = journal.pending()
+        assert [r["id"] for r in pending] == ["b"]
+        assert pending[0]["fn"] == "selftest"
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        journal.record_submit(make_job(0, job_id="a"))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"torn wri')  # crash mid-append
+        assert [r["id"] for r in journal.pending()] == ["a"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert JobJournal(tmp_path / "none.jsonl").pending() == []
+
+
+class TestSubmission:
+    def test_compute_then_cache_hit(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            first = await service.submit("selftest", {"value": 7})
+            first = await service.wait(first.id, timeout=30)
+            second = await service.submit("selftest", {"value": 7})
+            await service.stop()
+            return first, second
+
+        first, second = run(main())
+        assert first.state == "done" and first.source == "computed"
+        assert first.result == selftest_point(value=7)
+        assert second.state == "done" and second.source == "cache"
+        assert second.result == first.result
+        assert second.latency_s() is not None
+
+    def test_inflight_coalescing(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            owner = await service.submit("sleep", {"seconds": 0.2, "value": 1})
+            dup = await service.submit("sleep", {"seconds": 0.2, "value": 1})
+            await service.wait(dup.id, timeout=30)
+            await service.stop()
+            return service, owner, dup
+
+        service, owner, dup = run(main())
+        assert dup.dedup_of == owner.id
+        assert dup.source == "coalesced"
+        assert dup.result == owner.result
+        assert service.stats.coalesced == 1
+        assert service.stats.computed == 1
+
+    def test_unknown_fn_and_bad_kwargs_rejected(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            with pytest.raises(ServeError, match="unknown point function"):
+                await service.submit("no-such-point")
+            with pytest.raises(ServeError, match="JSON-serializable"):
+                await service.submit("selftest", {"value": object()})
+            assert service.stats.submitted == 0
+
+        run(main())
+
+    def test_backpressure_raises_queue_full(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path, max_queue=2,
+                                 use_cache=False)
+            # Workers not started: submissions stay queued.
+            await service.submit("selftest", {"value": 0})
+            await service.submit("selftest", {"value": 1})
+            with pytest.raises(QueueFullError):
+                await service.submit("selftest", {"value": 2})
+            assert service.stats.rejected == 1
+
+        run(main())
+
+    def test_submit_after_drain_rejected(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            await service.stop()
+            with pytest.raises(ServeError, match="draining"):
+                await service.submit("selftest", {"value": 0})
+
+        run(main())
+
+
+class TestExecution:
+    def test_priority_scheduling_order(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path,
+                                 use_cache=False)
+            await service.start()
+            blocker = await service.submit("sleep",
+                                           {"seconds": 0.15, "value": 99})
+            low = await service.submit("selftest", {"value": 0}, priority=0)
+            high = await service.submit("selftest", {"value": 1}, priority=5)
+            mid = await service.submit("selftest", {"value": 2}, priority=1)
+            for job in (blocker, low, high, mid):
+                await service.wait(job.id, timeout=30)
+            await service.stop()
+            return low, high, mid
+
+        low, high, mid = run(main())
+        assert high.started_t < mid.started_t < low.started_t
+
+    def test_point_failure_fails_job(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            job = await service.submit("selftest", {"value": 3, "fail": True})
+            job = await service.wait(job.id, timeout=30)
+            await service.stop()
+            return service, job
+
+        service, job = run(main())
+        assert job.state == "failed"
+        assert "asked to fail" in job.error
+        assert job.result is None
+        assert service.stats.failed == 1 and service.stats.completed == 0
+
+    def test_timeout_retries_then_fails(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path,
+                                 timeout_s=0.05, retries=1)
+            await service.start()
+            job = await service.submit("sleep", {"seconds": 0.4})
+            job = await service.wait(job.id, timeout=30)
+            await service.stop()
+            return service, job
+
+        service, job = run(main())
+        assert job.state == "failed"
+        assert "timed out" in job.error
+        assert job.attempts == 2
+        assert service.stats.timeouts == 2
+        assert service.stats.retries == 1
+
+    def test_drain_finishes_queued_jobs(self, tmp_path):
+        async def main():
+            service = JobService(workers=2, cache_dir=tmp_path,
+                                 use_cache=False)
+            await service.start()
+            jobs = [await service.submit("selftest", {"value": v})
+                    for v in range(8)]
+            await service.stop(drain=True)
+            return service, jobs
+
+        service, jobs = run(main())
+        assert all(job.state == "done" for job in jobs)
+        assert service.stats.completed == 8
+
+    def test_non_drain_stop_fails_pending(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path,
+                                 use_cache=False)
+            # No start: everything stays queued, then gets failed.
+            jobs = [await service.submit("selftest", {"value": v})
+                    for v in range(3)]
+            await service.stop(drain=False)
+            return jobs
+
+        jobs = run(main())
+        assert all(job.state == "failed" for job in jobs)
+        assert all("stopped" in job.error for job in jobs)
+
+
+class TestProgressAndEvents:
+    def test_progress_records_and_tracer_events(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            job = await service.submit("selftest", {"value": 4})
+            records = [r async for r in service.stream_progress(job.id)]
+            await service.stop()
+            return service, job, records
+
+        service, job, records = run(main())
+        phases = [r["phase"] for r in records]
+        assert phases[0] == "queued"
+        assert phases[-1] == "done"
+        assert "start" in phases
+        assert all(r["job"] == job.id for r in records)
+        events = service.tracer.by_kind("serve.job")
+        assert [e.phase for e in events if e.reason == job.id] == phases
+        assert all(e.opcode == "selftest" for e in events)
+
+    def test_cache_hit_streams_single_done(self, tmp_path):
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path)
+            await service.start()
+            first = await service.submit("selftest", {"value": 5})
+            await service.wait(first.id, timeout=30)
+            second = await service.submit("selftest", {"value": 5})
+            records = [r async for r in service.stream_progress(second.id)]
+            await service.stop()
+            return records
+
+        records = run(main())
+        assert [r["phase"] for r in records] == ["done"]
+        assert records[0]["outcome"] == "cache"
+
+
+class TestJournalPersistence:
+    def test_unfinished_jobs_survive_restart(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+
+        async def crash():
+            service = JobService(workers=1, cache_dir=tmp_path / "cache",
+                                 journal_path=journal)
+            # Never started: accepted jobs are journalled but never run.
+            submitted = [await service.submit("selftest", {"value": v})
+                         for v in range(3)]
+            return [job.id for job in submitted]
+
+        async def recover(ids):
+            service = JobService(workers=1, cache_dir=tmp_path / "cache",
+                                 journal_path=journal)
+            await service.start()
+            jobs = [await service.wait(job_id, timeout=30) for job_id in ids]
+            await service.stop()
+            return jobs
+
+        ids = run(crash())
+        jobs = run(recover(ids))
+        assert [job.result for job in jobs] == \
+            [selftest_point(value=v) for v in range(3)]
+        # A third service finds nothing left to redo.
+        assert JobJournal(journal).pending() == []
+
+    def test_completed_jobs_not_replayed(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path / "cache",
+                                 journal_path=journal)
+            await service.start()
+            job = await service.submit("selftest", {"value": 9})
+            await service.wait(job.id, timeout=30)
+            await service.stop()
+
+        run(main())
+        assert JobJournal(journal).pending() == []
+
+
+class TestServiceChaos:
+    def test_chaos_crashed_workers_still_serve_correct_results(self, tmp_path):
+        plan = FaultPlan(seed=3, specs=(
+            FaultSpec(kind="runner.crash", probability=1.0),
+        ))
+
+        async def main():
+            service = JobService(workers=2, cache_dir=tmp_path,
+                                 use_cache=False,
+                                 chaos=RunnerChaos(plan))
+            await service.start()
+            jobs = [await service.submit("selftest", {"value": v})
+                    for v in range(6)]
+            await service.stop(drain=True)
+            return service, jobs
+
+        service, jobs = run(main())
+        assert all(job.state == "done" for job in jobs)
+        assert [job.result for job in jobs] == \
+            [selftest_point(value=v) for v in range(6)]
+        assert service.runner_stats()["serial_fallbacks"] > 0
+
+    def test_chaos_timeouts_still_serve_correct_results(self, tmp_path):
+        plan = FaultPlan(seed=4, specs=(
+            FaultSpec(kind="runner.timeout", probability=1.0,
+                      max_injections=4),
+        ))
+
+        async def main():
+            service = JobService(workers=1, cache_dir=tmp_path,
+                                 use_cache=False,
+                                 chaos=RunnerChaos(plan))
+            await service.start()
+            jobs = [await service.submit("selftest", {"value": v})
+                    for v in range(4)]
+            await service.stop(drain=True)
+            return service, jobs
+
+        service, jobs = run(main())
+        assert all(job.state == "done" for job in jobs)
+        stats = service.runner_stats()
+        assert stats["timeouts"] > 0
+        assert stats["serial_fallbacks"] > 0
+
+
+class TestStatsDocument:
+    def test_to_dict_shape_and_rates(self, tmp_path):
+        async def main():
+            service = JobService(workers=2, cache_dir=tmp_path)
+            await service.start()
+            for _ in range(3):
+                job = await service.submit("selftest", {"value": 1})
+                await service.wait(job.id, timeout=30)
+            await service.stop()
+            return service
+
+        service = run(main())
+        doc = service.to_dict()
+        assert doc["schema"] == "repro.serve-stats/1"
+        assert set(doc["provenance"]) == \
+            {"backend", "code_version", "workload_seeds"}
+        assert doc["stats"]["submitted"] == 3
+        assert doc["stats"]["computed"] == 1
+        assert doc["stats"]["cache_hits"] == 2
+        assert doc["stats"]["hit_rate"] == pytest.approx(2 / 3)
+        assert doc["stats"]["duplicate_tail_hit_rate"] == pytest.approx(1.0)
+        assert "serve-stats:" in service.stats.line()
+        json.dumps(doc)  # the /stats endpoint must be serializable

@@ -1,0 +1,263 @@
+"""End-to-end tests of the HTTP front end (repro.serve.web) and the load
+generator: endpoint semantics over a real socket, NDJSON progress
+streaming, service-vs-CLI-serial bit-identity (cold and warm cache), and
+a small loadgen run with its lost/duplicated audit."""
+
+import asyncio
+import http.client
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import BackgroundServer, LoadgenConfig, Point, PointRunner, \
+    run_loadgen
+from repro.config_io import config_to_dict
+from repro.params import small_test_machine
+from repro.serve.loadgen import build_catalog, percentile, sample_indices, \
+    summarize
+
+SRC_ROOT = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def request(url, method, path, body=None):
+    host_port = url.split("://", 1)[1]
+    conn = http.client.HTTPConnection(host_port, timeout=60)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else None)
+    finally:
+        conn.close()
+
+
+def kernel_job():
+    """A real (small-machine) simulation point, as submitted over HTTP."""
+    return {"fn": "kernel",
+            "kwargs": {"kernel": "copy", "config": "cc", "size": 512,
+                       "machine": config_to_dict(small_test_machine())}}
+
+
+class TestEndpoints:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        with BackgroundServer(workers=2, cache_dir=tmp_path) as url:
+            yield url
+
+    def test_healthz(self, server):
+        status, doc = request(server, "GET", "/healthz")
+        assert status == 200
+        assert doc == {"ok": True, "draining": False}
+
+    def test_submit_wait_returns_terminal_document(self, server):
+        status, doc = request(server, "POST", "/jobs?wait=1",
+                              {"fn": "selftest", "kwargs": {"value": 6}})
+        assert status == 200
+        assert doc["state"] == "done"
+        assert doc["result"] == {"value": 6, "doubled": 12}
+        assert doc["source"] in ("computed", "cache")
+        assert doc["latency_s"] >= 0.0
+        assert set(doc["provenance"]) == \
+            {"backend", "code_version", "workload_seeds"}
+
+    def test_submit_then_poll(self, server):
+        status, doc = request(server, "POST", "/jobs",
+                              {"fn": "selftest", "kwargs": {"value": 2}})
+        assert status == 202
+        job_id = doc["id"]
+        for _ in range(200):
+            status, doc = request(server, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            if doc["state"] in ("done", "failed"):
+                break
+        assert doc["state"] == "done"
+        assert doc["result"] == {"value": 2, "doubled": 4}
+
+    def test_unknown_job_404(self, server):
+        status, doc = request(server, "GET", "/jobs/deadbeef")
+        assert status == 404
+        assert "unknown job" in doc["error"]
+
+    def test_bad_submissions_400(self, server):
+        status, doc = request(server, "POST", "/jobs", {"fn": "nope"})
+        assert status == 400
+        assert "unknown point function" in doc["error"]
+        status, doc = request(server, "POST", "/jobs", {"notfn": 1})
+        assert status == 400
+
+    def test_unknown_route(self, server):
+        status, _doc = request(server, "GET", "/nope")
+        assert status == 404
+
+    def test_stats_document(self, server):
+        request(server, "POST", "/jobs?wait=1",
+                {"fn": "selftest", "kwargs": {"value": 1}})
+        request(server, "POST", "/jobs?wait=1",
+                {"fn": "selftest", "kwargs": {"value": 1}})
+        status, doc = request(server, "GET", "/stats")
+        assert status == 200
+        assert doc["schema"] == "repro.serve-stats/1"
+        assert doc["stats"]["submitted"] == 2
+        assert doc["stats"]["cache_hits"] == 1
+
+    def test_events_stream_is_ndjson_until_terminal(self, server):
+        _status, doc = request(server, "POST", "/jobs",
+                               {"fn": "sleep",
+                                "kwargs": {"seconds": 0.1, "value": 3}})
+        job_id = doc["id"]
+        host_port = server.split("://", 1)[1]
+        conn = http.client.HTTPConnection(host_port, timeout=60)
+        conn.request("GET", f"/jobs/{job_id}/events")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        records = [json.loads(line) for line in response.read().splitlines()]
+        conn.close()
+        phases = [r["phase"] for r in records]
+        assert phases[-1] == "done"
+        assert "start" in phases
+        assert all(r["job"] == job_id for r in records)
+
+    def test_backpressure_429(self, tmp_path):
+        with BackgroundServer(workers=1, cache_dir=tmp_path / "bp",
+                              use_cache=False, max_queue=1) as url:
+            _s, running = request(url, "POST", "/jobs",
+                                  {"fn": "sleep", "kwargs": {"seconds": 0.5}})
+            for _ in range(200):
+                _s, doc = request(url, "GET", f"/jobs/{running['id']}")
+                if doc["state"] == "running":
+                    break
+            status1, _ = request(url, "POST", "/jobs",
+                                 {"fn": "sleep",
+                                  "kwargs": {"seconds": 0.5, "value": 1}})
+            status2, doc = request(url, "POST", "/jobs",
+                                   {"fn": "sleep",
+                                    "kwargs": {"seconds": 0.5, "value": 2}})
+            assert status1 == 202
+            assert status2 == 429
+            assert "backpressure" in doc["error"]
+
+    def test_drain_endpoint(self, tmp_path):
+        server = BackgroundServer(workers=1, cache_dir=tmp_path / "drain")
+        url = server.start()
+        try:
+            status, doc = request(url, "POST", "/admin/drain")
+            assert status == 200 and doc["draining"] is True
+            for _ in range(100):
+                try:
+                    status, doc = request(url, "GET", "/healthz")
+                except (OSError, http.client.HTTPException):
+                    break  # server socket closed: drained
+                if doc.get("draining"):
+                    break
+        finally:
+            server.stop()
+
+
+class TestBitIdentity:
+    """The E2E contract: a job served over HTTP returns JSON
+    byte-identical to the same point run serially (the CLI's
+    ``--jobs 1`` engine), with and without a warm cache."""
+
+    def serial_bytes(self, job):
+        [result] = PointRunner(use_cache=False).run(
+            [Point(job["fn"], job["kwargs"])])
+        return json.dumps(result, sort_keys=True).encode()
+
+    def test_served_result_identical_to_serial_cold_and_warm(self, tmp_path):
+        job = kernel_job()
+        expected = self.serial_bytes(job)
+
+        with BackgroundServer(workers=2, cache_dir=tmp_path) as url:
+            _s, cold = request(url, "POST", "/jobs?wait=1", job)
+        assert cold["state"] == "done" and cold["source"] == "computed"
+        assert json.dumps(cold["result"], sort_keys=True).encode() == expected
+
+        # A fresh server over the now-warm cache must serve the same bytes.
+        with BackgroundServer(workers=2, cache_dir=tmp_path) as url:
+            _s, warm = request(url, "POST", "/jobs?wait=1", job)
+        assert warm["state"] == "done" and warm["source"] == "cache"
+        assert json.dumps(warm["result"], sort_keys=True).encode() == expected
+
+    def test_served_result_identical_to_fresh_cli_process(self, tmp_path):
+        """Same contract against an actual fresh-interpreter serial run
+        (the `repro` CLI path), not just an in-process runner."""
+        job = kernel_job()
+        with BackgroundServer(workers=1, cache_dir=tmp_path) as url:
+            _s, served = request(url, "POST", "/jobs?wait=1", job)
+        assert served["state"] == "done"
+
+        script = (
+            "import json, sys\n"
+            "from repro.bench.runner import Point, PointRunner\n"
+            "job = json.loads(sys.stdin.read())\n"
+            "[result] = PointRunner(use_cache=False).run("
+            "[Point(job['fn'], job['kwargs'])])\n"
+            "sys.stdout.write(json.dumps(result, sort_keys=True))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script], input=json.dumps(job),
+            capture_output=True, text=True, timeout=300,
+            env={**os.environ, "PYTHONPATH": SRC_ROOT})
+        assert proc.returncode == 0, proc.stderr
+        assert json.dumps(served["result"], sort_keys=True) == proc.stdout
+
+
+class TestLoadgen:
+    def test_small_burst_zero_lost_zero_duplicated(self, tmp_path):
+        cfg = LoadgenConfig(requests=80, concurrency=8, distinct=8,
+                            seed=1, cache_dir=str(tmp_path), workers=2)
+        doc = asyncio.run(run_loadgen(cfg))
+        metrics = doc["metrics"]
+        assert doc["schema"] == "repro.bench-serve/1"
+        assert metrics["completed"] == 80
+        assert metrics["lost"] == 0
+        assert metrics["duplicated"] == 0
+        assert metrics["inconsistent"] == 0
+        assert metrics["server_tail_hit_rate"] >= 0.9
+        assert sum(metrics["sources"].values()) == 80
+        # Exactly one computation per distinct configuration actually
+        # sampled; every repeat must be a cache hit or coalesced.
+        assert metrics["sources"]["computed"] == len(set(sample_indices(cfg)))
+        assert metrics["latency_ms"]["p50"] <= metrics["latency_ms"]["p99"]
+        assert metrics["throughput_jobs_per_s"] > 0
+        assert doc["contract"]["passed"] is True
+        line = summarize(doc)
+        assert "lost=0" in line and "duplicated=0" in line
+
+    def test_catalog_kinds(self):
+        selftest = build_catalog(LoadgenConfig(distinct=5))
+        assert len(selftest) == 5
+        assert all(t["fn"] == "selftest" for t in selftest)
+        sleepy = build_catalog(LoadgenConfig(point="sleep", distinct=3,
+                                             sleep_ms=20))
+        assert all(t["kwargs"]["seconds"] == 0.02 for t in sleepy)
+        kernels = build_catalog(LoadgenConfig(point="kernel", distinct=6))
+        assert len(kernels) == 6
+        assert all("machine" in t["kwargs"] for t in kernels)
+
+    def test_sampling_is_deterministic_and_skewed(self):
+        cfg = LoadgenConfig(requests=500, distinct=10, seed=7)
+        first = sample_indices(cfg)
+        assert first == sample_indices(cfg)
+        assert len(first) == 500
+        assert set(first) <= set(range(10))
+        # Zipf: rank 0 strictly more popular than the tail's last rank.
+        assert first.count(0) > first.count(9)
+        uniform = sample_indices(LoadgenConfig(requests=500, distinct=10,
+                                               seed=7,
+                                               distribution="uniform"))
+        assert first.count(0) > uniform.count(0)
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile(values, 100) == 4.0
+        assert percentile([], 50) == 0.0

@@ -1,0 +1,131 @@
+"""Property tests for the job-service scheduling and dedup contracts:
+queue scheduling is a total order respecting priority-then-FIFO, and
+dedup never coalesces jobs whose provenance (backend / code fingerprint
+/ seeds) differs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import point_key
+from repro.serve.jobs import Job, JobQueue, can_coalesce, schedule_key
+
+priorities = st.integers(-3, 3)
+
+BACKENDS = ("packed", "bitexact")
+CODE_VERSIONS = ("fp-aaaa", "fp-bbbb")
+SEED_CHOICES = (0, 1, 42)
+
+
+def build_job(seq, priority=0, fn="selftest", value=0, seed=0,
+              backend="packed", code_version="fp-aaaa"):
+    """A job exactly as the service would mint it: content-hash key over
+    (fn, kwargs, backend, code version) plus the provenance header."""
+    kwargs = {"value": value, "seed": seed}
+    return Job(
+        id=f"job{seq}", fn=fn, kwargs=kwargs,
+        key=point_key(fn, kwargs, backend, code_version),
+        provenance={"backend": backend, "code_version": code_version,
+                    "workload_seeds": {"workload": seed}},
+        priority=priority, seq=seq,
+    )
+
+
+job_identities = st.tuples(
+    st.sampled_from(("selftest", "sleep")),      # fn
+    st.integers(0, 2),                           # value kwarg
+    st.sampled_from(SEED_CHOICES),               # seed
+    st.sampled_from(BACKENDS),                   # backend
+    st.sampled_from(CODE_VERSIONS),              # code fingerprint
+)
+
+
+class TestSchedulingTotalOrder:
+    @given(st.lists(priorities, min_size=1, max_size=40))
+    @settings(max_examples=120, deadline=None)
+    def test_pop_order_is_priority_then_fifo(self, prios):
+        queue = JobQueue()
+        jobs = [build_job(seq, priority=p) for seq, p in enumerate(prios)]
+        for job in jobs:
+            queue.push(job)
+        popped = [queue.pop() for _ in jobs]
+        assert queue.pop() is None
+        # Total order: the pop sequence is exactly the jobs sorted by
+        # (priority desc, submission seq asc), and a permutation of the
+        # input (nothing lost, nothing duplicated).
+        assert popped == sorted(jobs, key=schedule_key)
+        assert sorted(job.seq for job in popped) == list(range(len(jobs)))
+        for earlier, later in zip(popped, popped[1:]):
+            assert (earlier.priority > later.priority
+                    or (earlier.priority == later.priority
+                        and earlier.seq < later.seq))
+
+    @given(st.lists(priorities, min_size=2, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_order_is_strict_and_antisymmetric(self, prios):
+        jobs = [build_job(seq, priority=p) for seq, p in enumerate(prios)]
+        keys = [schedule_key(job) for job in jobs]
+        assert len(set(keys)) == len(keys)  # no ties: seq breaks every one
+
+    @given(st.lists(st.tuples(priorities, st.booleans()), min_size=1,
+                    max_size=40))
+    @settings(max_examples=80, deadline=None)
+    def test_interleaved_pops_always_take_the_scheduled_minimum(self, ops):
+        queue = JobQueue()
+        alive = []
+        seq = 0
+        for priority, do_pop in ops:
+            if do_pop and alive:
+                expected = min(alive, key=schedule_key)
+                assert queue.pop() is expected
+                alive.remove(expected)
+            else:
+                job = build_job(seq, priority=priority)
+                seq += 1
+                queue.push(job)
+                alive.append(job)
+        while alive:
+            expected = min(alive, key=schedule_key)
+            assert queue.pop() is expected
+            alive.remove(expected)
+
+
+class TestDedupProvenance:
+    @given(job_identities, job_identities)
+    @settings(max_examples=300, deadline=None)
+    def test_coalesce_iff_identity_and_provenance_match(self, ident_a,
+                                                        ident_b):
+        a = build_job(0, fn=ident_a[0], value=ident_a[1], seed=ident_a[2],
+                      backend=ident_a[3], code_version=ident_a[4])
+        b = build_job(1, fn=ident_b[0], value=ident_b[1], seed=ident_b[2],
+                      backend=ident_b[3], code_version=ident_b[4])
+        if ident_a == ident_b:
+            assert can_coalesce(a, b)
+        else:
+            # Any difference in the point identity or the provenance
+            # header (backend, code fingerprint, seeds) forbids dedup.
+            assert not can_coalesce(a, b)
+
+    @given(job_identities)
+    @settings(max_examples=100, deadline=None)
+    def test_same_key_different_provenance_never_coalesces(self, ident):
+        # Even with identical content-hash keys (forced here), a
+        # provenance header mismatch must block coalescing — provenance
+        # is checked independently of the key.
+        a = build_job(0, fn=ident[0], value=ident[1], seed=ident[2],
+                      backend=ident[3], code_version=ident[4])
+        b = build_job(1, fn=ident[0], value=ident[1], seed=ident[2],
+                      backend=ident[3], code_version=ident[4])
+        b.provenance = dict(b.provenance,
+                            workload_seeds={"workload": ident[2] + 1})
+        assert a.key == b.key
+        assert not can_coalesce(a, b)
+
+    @given(job_identities)
+    @settings(max_examples=60, deadline=None)
+    def test_priority_never_affects_dedup(self, ident):
+        a = build_job(0, fn=ident[0], value=ident[1], seed=ident[2],
+                      backend=ident[3], code_version=ident[4])
+        b = build_job(1, fn=ident[0], value=ident[1], seed=ident[2],
+                      backend=ident[3], code_version=ident[4])
+        b.priority = a.priority + 3
+        assert can_coalesce(a, b)
