@@ -40,9 +40,11 @@ from .config_io import (
     save_fault_plan,
 )
 from .core import isa as cc_ops
+from .bench.speed import SpeedConfig, run_speed
 from .core.controller import CCResult, ComputeCacheController
 from .core.isa import CCInstruction, Opcode
 from .core.scrub import ScrubService
+from .core.stream import CCInstructionStream, CCOccupancyTimeline, StreamResult
 from .cpu.program import Instr, InstrKind, Program
 from .errors import (
     ActivationLimitError,
@@ -138,6 +140,9 @@ __all__ = [
     "Program",
     "Instr",
     "InstrKind",
+    "CCInstructionStream",
+    "CCOccupancyTimeline",
+    "StreamResult",
     # configuration I/O
     "config_to_dict",
     "config_from_dict",
@@ -167,6 +172,8 @@ __all__ = [
     "BackgroundServer",
     "LoadgenConfig",
     "run_loadgen",
+    "SpeedConfig",
+    "run_speed",
     # faults & resilience
     "FAULT_KINDS",
     "FaultPlan",

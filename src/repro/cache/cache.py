@@ -69,6 +69,13 @@ class CacheLevel:
                            tracer=tracer, unit=unit)
         self.mshrs = MSHRFile(capacity=mshr_capacity)
         self.stats = CacheLevelStats()
+        self.epoch = 0
+        """Residency epoch: bumped on every fill and invalidate.  The CC
+        controller's memoized level-selection (and the stream scheduler's
+        residency preflight caches) are valid only while the epochs of all
+        caches are unchanged — any counter that could stale them moves this
+        number.  State-only transitions (MESI up/downgrades) do not bump it;
+        consumers that depend on writability must re-probe."""
 
     # -- presence -----------------------------------------------------------------
 
@@ -172,6 +179,7 @@ class CacheLevel:
         self.tags.install(parts.set_index, way, parts.tag, state)
         self.geometry.write_data(addr, way, data)
         self.stats.fills += 1
+        self.epoch += 1
         if self.tracer is not None:
             self.tracer.emit("cache.fill", level=self.name, unit=self.unit,
                              addr=addr)
@@ -188,6 +196,7 @@ class CacheLevel:
         data = self.geometry.read_data(addr, way)
         dirty = entry.state.dirty
         entry.invalidate()
+        self.epoch += 1
         return data, dirty
 
     def peek_block(self, addr: int) -> bytes:

@@ -92,6 +92,10 @@ class CacheHierarchy:
             energy_per_block_pj=config.memory.energy_per_block,
         )
         self._page_to_slice: dict[int, int] = {}
+        self.page_map_epoch = 0
+        """Bumped by :meth:`place_page` (explicit OS re-homing).  First-touch
+        homing is sticky and deterministic, so pure per-address decode caches
+        only go stale on an explicit re-placement."""
         self.forced_unpins: list[tuple[str, int, int]] = []
         self.coherence_fault_hook = None
         """Fault-injection hook (:mod:`repro.faults`): called as
@@ -116,6 +120,7 @@ class CacheHierarchy:
         if not 0 <= slice_id < self.config.l3_slices:
             raise AddressError(f"slice {slice_id} outside 0..{self.config.l3_slices - 1}")
         self._page_to_slice[addr // PAGE_SIZE] = slice_id
+        self.page_map_epoch += 1
 
     # -- private-hierarchy helpers ----------------------------------------------------
 
@@ -432,6 +437,17 @@ class CacheHierarchy:
         if level == L3:
             return self.l3[self.home_slice(addr, core)]
         raise AddressError(f"unknown cache level {level!r}")
+
+    def residency_epoch(self) -> int:
+        """Monotone counter covering every fill/invalidate in the machine.
+
+        The CC controller memoizes level selection per instruction; a memo
+        entry is valid only while this epoch is unchanged (any fill or
+        invalidate anywhere could alter which levels hold an operand).
+        """
+        return (sum(c.epoch for c in self.l1)
+                + sum(c.epoch for c in self.l2)
+                + sum(c.epoch for c in self.l3))
 
     def probe_residency(self, core: int, block_addrs: list[int]) -> dict[str, bool]:
         """For each level, are *all* the given blocks resident there?

@@ -19,6 +19,9 @@ Usage::
                                      # simulation job service (HTTP/JSON)
     python -m repro loadgen --requests 1000 --concurrency 32
                                      # load-test a service -> BENCH_serve.json
+    python -m repro speed --instructions 32 --passes 4
+                                     # sustained simulator throughput
+                                     # -> BENCH_speed.json
 
 The figure, sweep, and export commands take ``--jobs N`` (process-pool
 parallelism), ``--no-cache``, and ``--cache-dir`` — see
@@ -346,6 +349,36 @@ def _cmd_loadgen(args) -> None:
         sys.exit(1)
 
 
+def _cmd_speed(args) -> None:
+    import json
+
+    from .bench.speed import SpeedConfig, run_speed, summarize
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    if args.backend is not None:
+        backends = (args.backend,)
+    else:
+        backends = tuple(args.backends.split(","))
+    cfg = SpeedConfig(
+        kernel=args.kernel, size=args.size, instructions=args.instructions,
+        passes=args.passes, window=args.window, backends=backends,
+        seed=args.seed if args.seed is not None else 42,
+        min_speedup=args.min_speedup, baseline=baseline,
+        tolerance=args.tolerance)
+    doc = run_speed(cfg)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    print(summarize(doc))
+    print(f"wrote {args.out}")
+    if not doc["contract"]["passed"]:
+        for failure in doc["contract"]["failures"]:
+            print(f"contract failure: {failure}", file=sys.stderr)
+        sys.exit(1)
+
+
 def _cmd_faults(args) -> None:
     import json
 
@@ -532,6 +565,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail (exit 1) if p99 latency exceeds this")
     pl.add_argument("--out", default="BENCH_serve.json")
     pl.set_defaults(fn=_cmd_loadgen)
+
+    pd = sub.add_parser(
+        "speed",
+        help="sustained simulator-throughput benchmark (sequential vs "
+             "stream scheduler) -> BENCH_speed.json (see docs/benchmarks.md)",
+        parents=[sim_args])
+    pd.add_argument("--kernel", default="xor",
+                    choices=("and", "or", "xor", "not", "copy", "buz", "cmp"),
+                    help="CC kernel shape to stream (default xor)")
+    pd.add_argument("--size", type=int, default=4096,
+                    help="bytes per operand (default 4096, fig7 scale)")
+    pd.add_argument("--instructions", type=int, default=32,
+                    help="distinct disjoint-operand instructions per pass")
+    pd.add_argument("--passes", type=int, default=4,
+                    help="timed re-issues of the whole stream")
+    pd.add_argument("--window", type=int, default=8,
+                    help="stream fusion window (default 8)")
+    pd.add_argument("--backends", default="packed,bitexact", metavar="A,B",
+                    help="comma-separated backends to measure (ignored "
+                         "when --backend picks a single one)")
+    pd.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                    help="fail (exit 1) if stream speedup over the "
+                         "sequential path falls below X on any backend")
+    pd.add_argument("--baseline", metavar="BENCH_speed.json", default=None,
+                    help="committed baseline document to regress against")
+    pd.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional instructions/sec regression "
+                         "vs --baseline (default 0.2)")
+    pd.add_argument("--out", default="BENCH_speed.json")
+    pd.set_defaults(fn=_cmd_speed)
 
     pf = sub.add_parser(
         "faults",

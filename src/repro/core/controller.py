@@ -52,6 +52,14 @@ from .operation_table import BlockOperand, BlockOperation, OperationTable, OpSta
 
 LEVEL_ORDER = (L1, L2, L3)
 
+MIXED_LEVEL = "mixed"
+"""``CCResult.level`` of a page-split instruction whose pieces computed at
+different cache levels."""
+
+MEMO_CAPACITY = 4096
+"""Entries kept in the controller's decode/level-selection memo tables
+before they are dropped wholesale (a simple bound, not an LRU)."""
+
 INSTRUCTION_OVERHEAD_CYCLES = 5
 """Controller cycles to decode/dispatch one CC instruction."""
 
@@ -69,6 +77,8 @@ class CCControllerStats:
     pin_retries: int = 0
     risc_fallbacks: int = 0
     page_splits: int = 0
+    level_memo_hits: int = 0
+    hazard_memo_hits: int = 0
     fetch_cycles: float = 0.0
     compute_cycles: float = 0.0
     fallback_reasons: dict[str, int] = field(default_factory=dict)
@@ -132,6 +142,16 @@ class ComputeCacheController:
         """Optional :class:`~repro.core.reuse.ReuseAwarePolicy` refining
         level selection with reuse prediction (the paper's suggested
         future-work enhancement, Section IV-E)."""
+        # Decode memoization.  Repeated instructions (streaming kernels
+        # re-issue the same (opcode, operand-page) shapes constantly) skip
+        # the residency probes of level selection while no fill/invalidate
+        # has happened since the memo was recorded, and skip the hazard
+        # analysis entirely (it is a pure function of the instruction,
+        # the geometry, and the sticky page->slice map).  Both probes are
+        # uncounted (no stats, energy, or events), so memoization is
+        # observationally invisible.
+        self._level_memo: dict[CCInstruction, tuple[int, str]] = {}
+        self._hazard_memo: dict[tuple[CCInstruction, str], tuple[int, str | None]] = {}
 
     # -- public API -----------------------------------------------------------------
 
@@ -147,7 +167,12 @@ class ComputeCacheController:
         for piece in pieces:
             res = self._execute_piece(piece, force_level, force_nearplace)
             total.cycles += res.cycles
-            total.level = res.level
+            # Pieces of a page-split instruction may compute at different
+            # levels; report "mixed" rather than whichever piece ran last.
+            if not total.level:
+                total.level = res.level
+            elif total.level != res.level:
+                total.level = MIXED_LEVEL
             total.inplace_ops += res.inplace_ops
             total.nearplace_ops += res.nearplace_ops
             total.risc_ops += res.risc_ops
@@ -219,6 +244,13 @@ class ComputeCacheController:
             if force_level not in LEVEL_ORDER:
                 raise ReproError(f"unknown cache level {force_level!r}")
             return force_level
+        memoizable = self.reuse_policy is None
+        if memoizable:
+            epoch = self.hierarchy.residency_epoch()
+            hit = self._level_memo.get(instr)
+            if hit is not None and hit[0] == epoch:
+                self.stats.level_memo_hits += 1
+                return hit[1]
         addrs = []
         for name, base in instr.operands().items():
             if name == "dest" and instr.opcode is Opcode.CLMUL:
@@ -233,6 +265,10 @@ class ComputeCacheController:
                 break
         if self.reuse_policy is not None:
             chosen = self.reuse_policy.select(chosen, addrs)
+        if memoizable:
+            if len(self._level_memo) >= MEMO_CAPACITY:
+                self._level_memo.clear()
+            self._level_memo[instr] = (epoch, chosen)
         return chosen
 
     # -- execution of one page-local piece ---------------------------------------------------
@@ -473,6 +509,26 @@ class ComputeCacheController:
     # -- batched dispatch (phase A / phase B) ----------------------------------------------------
 
     def _batch_hazard(self, instr: CCInstruction, level: str) -> str | None:
+        """Memoizing wrapper around :meth:`_batch_hazard_uncached`.
+
+        The hazard verdict is a pure function of the instruction, the
+        level's geometry, and the sticky page->slice map, so it is cached
+        per ``(instr, level)`` and only invalidated by an explicit
+        :meth:`~repro.cache.hierarchy.CacheHierarchy.place_page`.
+        """
+        key = (instr, level)
+        epoch = self.hierarchy.page_map_epoch
+        hit = self._hazard_memo.get(key)
+        if hit is not None and hit[0] == epoch:
+            self.stats.hazard_memo_hits += 1
+            return hit[1]
+        hazard = self._batch_hazard_uncached(instr, level)
+        if len(self._hazard_memo) >= MEMO_CAPACITY:
+            self._hazard_memo.clear()
+        self._hazard_memo[key] = (epoch, hazard)
+        return hazard
+
+    def _batch_hazard_uncached(self, instr: CCInstruction, level: str) -> str | None:
         """Why batched dispatch is *not* provably equivalent to sequential
         (``"data-hazard"`` / ``"occupancy"``), or None when it is safe.
 

@@ -119,6 +119,70 @@ class InPlaceExecutor:
                     span=float(self.inplace_latency),
                 )
 
+    # -- split seam for cross-instruction fusion (repro.core.stream) ---------------
+
+    def account_batch(self, level: CacheLevel, partition: int,
+                      items: list[tuple[BlockOperation, tuple]]) -> None:
+        """The controller-side half of :meth:`execute_batch`: Table-V
+        charges, level stats, and ``subarray.op`` events for a group of
+        located ops, *without* running the kernel.
+
+        The stream scheduler calls this in canonical per-instruction order
+        while deferring the actual sub-array kernels to a fused
+        :meth:`kernel_batch` call, keeping the ledger and event stream
+        bit-identical to one-at-a-time execution.  All emitted fields are
+        known before the kernel runs (result bits are not part of them).
+        """
+        subop = items[0][0].subarray_op
+        charge_op = "cmp" if subop == "search" else subop
+        for op, _rows in items:
+            op.partition = partition
+            op.inplace = True
+            op.status = OpStatus.ISSUED
+            charge_cc_op(level.ledger, level.name, charge_op)
+            level.stats.cc_inplace_ops += 1
+            self.ops_executed += 1
+            if level.tracer is not None:
+                level.tracer.emit(
+                    "subarray.op", level=level.name, unit=level.unit,
+                    opcode=subop, partition=partition,
+                    addr=op.operands[0].addr, instr_id=op.instr_id,
+                    span=float(self.inplace_latency),
+                )
+
+    def kernel_batch(self, subarray,
+                     items: list[tuple[BlockOperation, tuple]]) -> None:
+        """The kernel half of :meth:`execute_batch`: one
+        :meth:`~repro.sram.ComputeSubarray.op_batch` call over (possibly)
+        many instructions' ops, assigning result bits per op.
+
+        Sub-array accounting happens inside ``op_batch`` in item order, so
+        as long as callers keep items in instruction order per sub-array
+        the per-sub-array stats are bit-identical to sequential execution.
+        """
+        if not items:
+            return
+        subop = items[0][0].subarray_op
+        lane_bits = items[0][0].lane_bits
+        rows_a = [rows[0] for _, rows in items]
+        rows_b = [rows[1] for _, rows in items] if items[0][1][1] is not None else None
+        rows_dest = [rows[2] for _, rows in items] if items[0][1][2] is not None else None
+        results = subarray.op_batch(
+            subop, rows_a, rows_b, rows_dest,
+            key_bytes=BLOCK_SIZE, lane_bits=lane_bits,
+        )
+        for (op, _rows), result in zip(items, results):
+            if subop == "cmp":
+                op.result_bits, op.result_bit_count = result, BLOCK_SIZE // 8
+            elif subop == "search":
+                op.result_bits, op.result_bit_count = result & 1, 1
+            elif subop == "clmul":
+                lanes = (BLOCK_SIZE * 8) // (lane_bits or 64)
+                bits = int.from_bytes(result, "little") & ((1 << lanes) - 1)
+                op.result_bits, op.result_bit_count = bits, lanes
+            else:
+                op.result_bits, op.result_bit_count = 0, 0
+
     # -- per-op handlers ----------------------------------------------------------
 
     def _rows(self, level: CacheLevel, op: BlockOperation) -> list[int]:

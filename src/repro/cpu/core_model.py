@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..cache.hierarchy import CacheHierarchy
 from ..core.consistency import OpKind, RMOOrderModel
 from ..core.controller import CCResult, ComputeCacheController
+from ..core.stream import CCOccupancyTimeline
 from ..energy.accounting import Component
 from ..errors import ReproError
 from ..params import MachineConfig
@@ -108,8 +109,7 @@ class CoreModel:
         res = RunResult(name=program.name)
         l1_hit = self.config.l1d.hit_latency
         pending_stall = 0.0
-        cc_busy_until = 0.0       # when the controller can accept new work
-        cc_last_completion = 0.0  # when all issued CC work has finished
+        cc_timeline = CCOccupancyTimeline()
         tracer = self.tracer
         for instr in program:
             res.instructions += 1
@@ -187,9 +187,8 @@ class CoreModel:
                 # command issue + near-place serial time) after any still-
                 # running predecessor's occupancy, while its sub-array work
                 # completes in the background.
-                start = max(res.cycles, cc_busy_until)
-                cc_busy_until = start + max(cc_res.occupancy_cycles, 1.0)
-                cc_last_completion = max(cc_last_completion, start + cc_res.cycles)
+                start = cc_timeline.issue(res.cycles, cc_res.occupancy_cycles,
+                                          cc_res.cycles)
                 if tracer is not None:
                     opname = instr.cc.opcode.value
                     tracer.emit("cc.timeline", core=self.core_id, phase="occupancy",
@@ -211,7 +210,7 @@ class CoreModel:
                 res.cycles += pending_stall
                 res.stall_cycles += pending_stall
                 pending_stall = 0.0
-                drain_to = max(cc_busy_until, cc_last_completion)
+                drain_to = cc_timeline.drain_target
                 if drain_to > res.cycles:
                     if tracer is not None:
                         tracer.emit("core.phase", core=self.core_id, phase="cc-drain",
@@ -230,7 +229,7 @@ class CoreModel:
         res.stall_cycles += pending_stall
         # Results are consumed at the end of the stream: expose whatever CC
         # latency the core could not hide.
-        drain_to = max(cc_busy_until, cc_last_completion)
+        drain_to = cc_timeline.drain_target
         if drain_to > res.cycles:
             if tracer is not None:
                 tracer.emit("core.phase", core=self.core_id, phase="cc-drain",

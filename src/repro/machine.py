@@ -22,6 +22,7 @@ from .alloc import Arena
 from .cache.hierarchy import CacheHierarchy
 from .core.controller import CCResult, ComputeCacheController
 from .core.isa import CCInstruction
+from .core.stream import DEFAULT_WINDOW, CCInstructionStream, StreamResult
 from .cpu.core_model import CoreModel, RunResult
 from .cpu.program import Program
 from .energy.accounting import EnergyLedger
@@ -75,6 +76,7 @@ class ComputeCacheMachine:
         ]
         self.arena = Arena(self.config.memory_size)
         self.power = PowerModel(self.config)
+        self._streams: dict[tuple[int, int], CCInstructionStream] = {}
 
     # -- data staging --------------------------------------------------------------
 
@@ -123,6 +125,24 @@ class ComputeCacheMachine:
     def run(self, program: Program, core: int = 0) -> RunResult:
         """Execute an instruction stream on a core."""
         return self.cores[core].run(program)
+
+    def cc_stream(self, instrs, core: int = 0, window: int = DEFAULT_WINDOW,
+                  force_level: str | None = None,
+                  force_nearplace: bool = False) -> StreamResult:
+        """Execute a sequence of CC instructions through the stream
+        scheduler (:mod:`repro.core.stream`): independent runs fuse into
+        shared per-sub-array kernel calls, with per-instruction results
+        bit-identical to issuing them one at a time via :meth:`cc`.
+
+        The per-(core, window) scheduler instance is kept so its decode
+        and locate memos persist across calls.
+        """
+        stream = self._streams.get((core, window))
+        if stream is None:
+            stream = CCInstructionStream(self.controllers[core], window=window)
+            self._streams[(core, window)] = stream
+        return stream.execute(instrs, force_level=force_level,
+                              force_nearplace=force_nearplace)
 
     # -- measurement -------------------------------------------------------------------
 

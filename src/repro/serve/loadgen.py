@@ -27,6 +27,7 @@ import json
 import math
 import random
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
@@ -175,6 +176,9 @@ class _Client:
 
 @dataclass
 class _Outcome:
+    req_no: int
+    """Position in the sampled request sequence — carried through so the
+    audit can attribute lost/duplicated responses to specific requests."""
     index: int
     latency_s: float
     status: int
@@ -204,14 +208,17 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict[str, Any]:
 
     catalog = build_catalog(cfg)
     indices = sample_indices(cfg)
-    pending = list(enumerate(indices))  # (request number, catalog index)
+    # FIFO issue order: the sampled sequence IS the workload (Zipf rank
+    # popularity over time); draining it LIFO would replay it reversed
+    # and detach request numbers from what the audit reports.
+    pending = deque(enumerate(indices))  # (request number, catalog index)
     outcomes: list[_Outcome] = []
 
     async def slot() -> None:
         client = _Client(host, port)
         try:
             while pending:
-                _req_no, index = pending.pop()
+                req_no, index = pending.popleft()
                 template = catalog[index]
                 t0 = time.perf_counter()
                 try:
@@ -219,12 +226,14 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict[str, Any]:
                         "POST", "/jobs?wait=1",
                         {**template, "wait_timeout_s": cfg.wait_timeout_s})
                     outcomes.append(_Outcome(
-                        index=index, latency_s=time.perf_counter() - t0,
+                        req_no=req_no, index=index,
+                        latency_s=time.perf_counter() - t0,
                         status=status,
                         job=doc if isinstance(doc, dict) else None))
                 except Exception as exc:
                     outcomes.append(_Outcome(
-                        index=index, latency_s=time.perf_counter() - t0,
+                        req_no=req_no, index=index,
+                        latency_s=time.perf_counter() - t0,
                         status=0, job=None, error=str(exc)))
         finally:
             await client.close()
@@ -254,8 +263,17 @@ def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
           if o.status == 200 and o.job is not None
           and o.job.get("state") == "done" and "result" in o.job]
     lost = cfg.requests - len(ok)
-    ids = [o.job["id"] for o in ok]
-    duplicated = len(ids) - len(set(ids))
+    ok_req_nos = {o.req_no for o in ok}
+    lost_req_nos = sorted(set(range(cfg.requests)) - ok_req_nos)
+    by_id: dict[str, list[int]] = {}
+    for o in ok:
+        by_id.setdefault(o.job["id"], []).append(o.req_no)
+    duplicated = sum(len(req_nos) - 1 for req_nos in by_id.values())
+    duplicated_req_nos = sorted(
+        req_no
+        for req_nos in by_id.values() if len(req_nos) > 1
+        for req_no in sorted(req_nos)[1:]
+    )
     by_index: dict[int, set[str]] = {}
     for o in ok:
         by_index.setdefault(o.index, set()).add(
@@ -308,6 +326,12 @@ def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
             "server_hit_rate": service_stats.get("hit_rate"),
             "server_tail_hit_rate": service_stats.get(
                 "duplicate_tail_hit_rate"),
+        },
+        "audit": {
+            # Request numbers (positions in the sampled FIFO sequence)
+            # behind the lost/duplicated counters, capped for readability.
+            "lost_req_nos": lost_req_nos[:100],
+            "duplicated_req_nos": duplicated_req_nos[:100],
         },
         "server_stats": server_stats,
         "contract": {

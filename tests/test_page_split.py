@@ -4,8 +4,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.controller import MIXED_LEVEL
 from repro.core.exceptions import split_by_pages
-from repro.core.isa import cc_and, cc_copy, cc_search
+from repro.core.isa import cc_and, cc_buz, cc_copy, cc_search
 from repro.errors import PageSpanError
 from repro.params import BLOCK_SIZE, PAGE_SIZE
 
@@ -62,3 +63,26 @@ class TestSplitByPages:
             assert not piece.spans_page_boundary()
             cursor_src += piece.size
             cursor_dst += piece.size
+
+
+class TestMixedLevelReport:
+    """A page-split instruction whose pieces compute at different cache
+    levels must report level="mixed", not whichever piece ran last."""
+
+    def test_pieces_at_different_levels_report_mixed(self, machine):
+        base = machine.arena.alloc_page_aligned(2 * PAGE_SIZE)
+        lo = base + PAGE_SIZE - BLOCK_SIZE   # last block of page 0
+        hi = base + PAGE_SIZE                # first block of page 1
+        machine.touch_range(lo, BLOCK_SIZE)  # piece 1 resident in L1
+        machine.warm_l3(hi, BLOCK_SIZE)      # piece 2 resident in L3 only
+        res = machine.cc(cc_buz(lo, 2 * BLOCK_SIZE))
+        assert res.pieces == 2
+        assert res.level == MIXED_LEVEL
+
+    def test_pieces_at_one_level_report_that_level(self, machine):
+        base = machine.arena.alloc_page_aligned(2 * PAGE_SIZE)
+        lo = base + PAGE_SIZE - BLOCK_SIZE
+        machine.warm_l3(lo, 2 * BLOCK_SIZE)
+        res = machine.cc(cc_buz(lo, 2 * BLOCK_SIZE))
+        assert res.pieces == 2
+        assert res.level == "L3"

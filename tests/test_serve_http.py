@@ -17,8 +17,8 @@ from repro.api import BackgroundServer, LoadgenConfig, Point, PointRunner, \
     run_loadgen
 from repro.config_io import config_to_dict
 from repro.params import small_test_machine
-from repro.serve.loadgen import build_catalog, percentile, sample_indices, \
-    summarize
+from repro.serve.loadgen import _build_doc, _Client, _Outcome, \
+    build_catalog, percentile, sample_indices, summarize
 
 SRC_ROOT = str(Path(__file__).resolve().parent.parent / "src")
 
@@ -261,3 +261,54 @@ class TestLoadgen:
         assert percentile(values, 99) == 4.0
         assert percentile(values, 100) == 4.0
         assert percentile([], 50) == 0.0
+
+    def test_requests_issue_fifo_in_sampled_order(self, monkeypatch):
+        """Regression: the pending queue must drain FIFO so the issued
+        workload is the sampled sequence, not its reverse."""
+        issued = []
+
+        async def fake_request(self, method, path, doc=None):
+            if method == "GET":
+                return 200, {"stats": {}}
+            value = doc["kwargs"]["value"]
+            issued.append(value)
+            return 200, {"state": "done", "result": value,
+                         "id": f"job-{len(issued)}", "source": "computed"}
+
+        async def fake_close(self):
+            pass
+
+        monkeypatch.setattr(_Client, "request", fake_request)
+        monkeypatch.setattr(_Client, "close", fake_close)
+        cfg = LoadgenConfig(url="http://stub:1", requests=24, distinct=6,
+                            seed=3, concurrency=1)
+        doc = asyncio.run(run_loadgen(cfg))
+        assert issued == sample_indices(cfg)
+        assert doc["metrics"]["lost"] == 0
+        assert doc["metrics"]["duplicated"] == 0
+        assert doc["audit"] == {"lost_req_nos": [], "duplicated_req_nos": []}
+
+    def test_audit_attributes_lost_and_duplicated_req_nos(self):
+        """The audit names the request numbers behind the lost and
+        duplicated counters (req_no is carried through each outcome)."""
+        def ok(req_no, index, job_id, result):
+            return _Outcome(req_no=req_no, index=index, latency_s=0.01,
+                            status=200,
+                            job={"state": "done", "result": result,
+                                 "id": job_id, "source": "computed"})
+
+        outcomes = [
+            ok(0, 0, "a", 0),
+            ok(1, 1, "b", 1),
+            _Outcome(req_no=2, index=2, latency_s=0.01, status=0, job=None,
+                     error="connection reset"),
+            ok(3, 1, "b", 1),   # response mixed: same job id as req 1
+            ok(4, 2, "c", 2),
+        ]
+        cfg = LoadgenConfig(requests=5, distinct=3)
+        doc = _build_doc(cfg, "http://stub:1", outcomes, wall_s=1.0,
+                         server_stats=None)
+        assert doc["metrics"]["lost"] == 1
+        assert doc["metrics"]["duplicated"] == 1
+        assert doc["audit"]["lost_req_nos"] == [2]
+        assert doc["audit"]["duplicated_req_nos"] == [3]
