@@ -36,6 +36,13 @@ def figure9_results():
 
 
 @pytest.fixture(scope="session")
+def qdnn_comparison():
+    from repro.bench import appbench
+
+    return appbench.bench_qdnn()
+
+
+@pytest.fixture(scope="session")
 def checkpoint_comparisons():
     from repro.bench.checkpointbench import BENCHMARKS, run_benchmark
 

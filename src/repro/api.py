@@ -19,7 +19,7 @@ from __future__ import annotations
 
 # -- machine, configuration, ISA -----------------------------------------------------
 from .alloc import Arena, SuperpageArena
-from .apps import bitmap_db, bmm, stringmatch, textgen, wordcount
+from .apps import bitmap_db, bmm, qdnn, stringmatch, textgen, wordcount
 from .apps.checkpoint import run_checkpoint
 from .apps.common import AppResult, fresh_machine
 from .apps.splash import PROFILES, SplashProfile
@@ -40,10 +40,12 @@ from .config_io import (
     save_fault_plan,
 )
 from .core import isa as cc_ops
+from .docscheck import generate_isa_table, run_docscheck
 from .bench.speed import SpeedConfig, run_speed
 from .core.controller import CCResult, ComputeCacheController
-from .core.isa import CCInstruction, Opcode
+from .core.isa import ARITH_ELEM_BITS, CCInstruction, Opcode
 from .core.scrub import ScrubService
+from .core.transpose import TransposeUnit
 from .core.stream import CCInstructionStream, CCOccupancyTimeline, StreamResult
 from .cpu.program import Instr, InstrKind, Program
 from .errors import (
@@ -133,6 +135,8 @@ __all__ = [
     "CellType",
     # ISA & execution
     "cc_ops",
+    "ARITH_ELEM_BITS",
+    "TransposeUnit",
     "CCInstruction",
     "CCResult",
     "ComputeCacheController",
@@ -202,6 +206,8 @@ __all__ = [
     "compile_and_run",
     "run_trace",
     "run_trace_file",
+    "run_docscheck",
+    "generate_isa_table",
     # applications
     "AppResult",
     "fresh_machine",
@@ -210,6 +216,7 @@ __all__ = [
     "SplashProfile",
     "bitmap_db",
     "bmm",
+    "qdnn",
     "stringmatch",
     "textgen",
     "wordcount",

@@ -10,6 +10,10 @@ Every application is implemented twice over the same machine model:
   search, ``cc_or`` over bitmap bins, broadcast ``cc_clmul`` BMM, and
   ``cc_copy`` copy-on-write checkpointing).
 
+Beyond the paper's four, :mod:`~repro.apps.qdnn` adds the Neural Cache
+follow-on workload: quantized DNN inference lowered to the bit-serial
+arithmetic tier (``cc_mul`` / ``cc_add`` / ``cc_reduce``).
+
 Both versions run for real - outputs are verified against pure-Python/numpy
 references - while the machine accounts cycles and per-component energy.
 
@@ -27,6 +31,7 @@ from .stringmatch import run_stringmatch
 from .bitmap_db import run_bitmap_queries
 from .bmm import run_bmm
 from .checkpoint import run_checkpoint
+from .qdnn import run_qdnn
 
 __all__ = [
     "AppResult",
@@ -35,12 +40,13 @@ __all__ = [
     "run_bitmap_queries",
     "run_bmm",
     "run_checkpoint",
+    "run_qdnn",
 ]
 
 
 from .._compat import deprecate_deep_imports
 
 deprecate_deep_imports(__name__, (
-    "bitmap_db", "bmm", "stringmatch", "textgen", "wordcount",
+    "bitmap_db", "bmm", "qdnn", "stringmatch", "textgen", "wordcount",
     "checkpoint", "splash", "common",
 ))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..apps import bitmap_db, bmm, stringmatch, textgen, wordcount
+from ..apps import bitmap_db, bmm, qdnn, stringmatch, textgen, wordcount
 from ..apps.common import AppResult, fresh_machine
 from ..params import sandybridge_8core
 
@@ -136,6 +136,23 @@ def bench_bitmap(n_rows: int = 1 << 17, n_queries: int = 6,
     )
 
 
+def bench_qdnn(h: int = 32, w: int = 32, n_out: int = 10,
+               backend: str | None = None,
+               seed: int | None = None) -> AppComparison:
+    """Quantized DNN inference on the bit-serial arithmetic tier (the
+    Neural Cache follow-on workload, not part of Figure 9): a 3x3
+    convolution plus fully-connected layer, scalar loop nest vs
+    ``cc_mul``/``cc_add``/``cc_reduce``."""
+    workload = qdnn.make_network(106 if seed is None else seed,
+                                 h=h, w=w, n_out=n_out)
+    return _compare(
+        "qdnn",
+        lambda m: qdnn.run_qdnn(workload, "baseline", m),
+        lambda m: qdnn.run_qdnn(workload, "cc", m),
+        backend=backend,
+    )
+
+
 @dataclass(frozen=True)
 class AppSummary:
     """JSON-round-trippable reduction of an :class:`AppComparison` —
@@ -179,6 +196,28 @@ def figure9(scale: float = 1.0, runner=None,
         for app in APPS
     ])
     return {doc["app"]: AppSummary(**doc) for doc in docs}
+
+
+def figure_qdnn(scale: float = 1.0, runner=None,
+                backend: str | None = None,
+                seed: int | None = None) -> AppSummary:
+    """The Neural Cache QDNN benchmark as one sweep-runner point (same
+    ``app`` point family as Figure 9, so it caches and parallelizes the
+    same way)."""
+    from .microbench import _resolve_runner
+    from .runner import Point
+
+    runner = _resolve_runner(runner)
+    extra = {}
+    if backend is not None:
+        extra["backend"] = backend
+    if seed is not None:
+        extra["seed"] = seed
+    (doc,) = runner.run([
+        Point("app", {"app": "qdnn", "scale": scale, **extra},
+              label="neural-cache:qdnn")
+    ])
+    return AppSummary(**doc)
 
 
 

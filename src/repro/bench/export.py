@@ -106,6 +106,17 @@ def export_full(scale: float = 0.5, intervals: int = 1,
         }
         for app, comp in comparisons.items()
     }
+    nc = appbench.figure_qdnn(scale=scale, runner=runner, backend=backend)
+    doc["neural_cache"] = {
+        "qdnn": {
+            "speedup": round(nc.speedup, 3),
+            "instruction_reduction": round(nc.instruction_reduction, 4),
+            "total_energy_ratio": round(nc.total_energy_ratio, 3),
+            "outputs_match": nc.outputs_match,
+            "baseline_instructions": nc.baseline_instructions,
+            "cc_instructions": nc.cc_instructions,
+        }
+    }
     doc["figure10"] = checkpointbench.figure10_overheads(intervals=intervals,
                                                          runner=runner,
                                                          backend=backend)

@@ -46,6 +46,7 @@ WORKLOAD_SEEDS = {
     "bmm-matrices": 103,
     "bitmap-dataset": 104,
     "bitmap-query-mix": 105,
+    "qdnn-network": 106,
     "wordline-sweep": 2024,
 }
 
@@ -142,6 +143,10 @@ def app_point(app: str, scale: float = 1.0,
     elif app == "db-bitmap":
         comp = appbench.bench_bitmap(n_rows=max(1 << 14, int((1 << 17) * scale)),
                                      backend=backend, seed=seed)
+    elif app == "qdnn":
+        comp = appbench.bench_qdnn(h=32 if scale >= 1.0 else 16,
+                                   w=32 if scale >= 1.0 else 16,
+                                   backend=backend, seed=seed)
     else:
         raise ValueError(f"unknown application {app!r}")
     return {

@@ -143,6 +143,37 @@ def _cmd_fig9(args) -> None:
     _finish_runner(runner, args)
 
 
+def _cmd_qdnn(args) -> None:
+    from .bench.appbench import figure_qdnn
+    from .bench.report import render_figure9
+
+    runner = _runner_from(args)
+    summary = figure_qdnn(scale=args.scale, runner=runner,
+                          backend=args.backend, seed=args.seed)
+    print(render_figure9({"qdnn": summary}))
+    print(f"  instructions: {summary.baseline_instructions} baseline -> "
+          f"{summary.cc_instructions} CC")
+    _finish_runner(runner, args)
+
+
+def _cmd_docscheck(args) -> None:
+    from pathlib import Path
+
+    from .docscheck import run_docscheck, write_isa_table
+
+    if args.write_isa_table:
+        write_isa_table(Path(args.root) if args.root else Path.cwd())
+        print("docs/isa.md: generated ISA table rewritten")
+        return
+    errors = run_docscheck(args.root, examples=not args.no_examples,
+                           verbose=args.verbose)
+    if errors:
+        for err in errors:
+            print(f"FAIL {err}")
+        raise SystemExit(1)
+    print("docscheck: all documentation checks passed")
+
+
 def _cmd_fig10(args) -> None:
     from .bench.checkpointbench import figure10_overheads, summarize_overheads
     from .bench.report import render_figure10
@@ -465,6 +496,26 @@ def build_parser() -> argparse.ArgumentParser:
     p9.add_argument("--scale", type=float, default=0.5,
                     help="workload scale factor (1.0 = bench scale)")
     p9.set_defaults(fn=_cmd_fig9)
+
+    pq = sub.add_parser("qdnn",
+                        help="Neural Cache quantized-DNN benchmark",
+                        parents=[runner_args, sim_args])
+    pq.add_argument("--scale", type=float, default=1.0,
+                    help="workload scale factor (1.0 = 32x32 input)")
+    pq.set_defaults(fn=_cmd_qdnn)
+
+    pdc = sub.add_parser(
+        "docscheck",
+        help="documentation consistency: ISA table, links, doc examples")
+    pdc.add_argument("--root", default=None,
+                     help="repository root (default: auto-detect)")
+    pdc.add_argument("--no-examples", action="store_true",
+                     help="skip executing fenced doc examples")
+    pdc.add_argument("--write-isa-table", action="store_true",
+                     help="rewrite the generated ISA table in docs/isa.md")
+    pdc.add_argument("--verbose", action="store_true",
+                     help="name each example as it runs")
+    pdc.set_defaults(fn=_cmd_docscheck)
 
     p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads",
                          parents=[runner_args, sim_args])

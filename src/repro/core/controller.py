@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from ..bitops import chunk_range
 from ..cache.hierarchy import L1, L2, L3, CacheHierarchy
 from ..energy.accounting import Component
-from ..energy.mcpat import charge_key_broadcast, charge_key_row_write
+from ..energy.mcpat import charge_key_broadcast, charge_key_row_write, charge_transpose
 from ..errors import PinnedLineError, ReproError
 from ..params import BLOCK_SIZE, MachineConfig
 from .exceptions import split_by_pages
@@ -49,6 +49,7 @@ from .isa import CCInstruction, Opcode
 from .key_table import KeyTable
 from .nearplace import NearPlaceUnit
 from .operation_table import BlockOperand, BlockOperation, OperationTable, OpStatus
+from .transpose import TransposeUnit
 
 LEVEL_ORDER = (L1, L2, L3)
 
@@ -81,6 +82,8 @@ class CCControllerStats:
     hazard_memo_hits: int = 0
     fetch_cycles: float = 0.0
     compute_cycles: float = 0.0
+    transpose_blocks: int = 0
+    transpose_cycles: float = 0.0
     fallback_reasons: dict[str, int] = field(default_factory=dict)
     """Block ops that missed in-place execution, keyed by why
     (``locality-miss``, ``pin-loss``, ``forced``)."""
@@ -128,6 +131,7 @@ class ComputeCacheController:
         self.key_table = KeyTable(capacity=8)
         self.inplace = InPlaceExecutor(cc.inplace_latency)
         self.nearplace = NearPlaceUnit(cc.nearplace_latency)
+        self.transpose = TransposeUnit(cc.transpose_latency)
         self.stats = CCControllerStats()
         self.tracer = hierarchy.tracer
         self.contention_hook: Callable[[int], bool] | None = None
@@ -179,7 +183,11 @@ class ComputeCacheController:
             total.fetch_cycles += res.fetch_cycles
             total.compute_cycles += res.compute_cycles
             total.occupancy_cycles += res.occupancy_cycles
-            if instr.opcode.reads_only:
+            if instr.opcode is Opcode.REDUCE:
+                # Partial sums of a page-split reduce accumulate modulo
+                # 2^64 — a shift-OR merge would corrupt them.
+                total.result = (total.result + res.result) & ((1 << 64) - 1)
+            elif instr.opcode.reads_only:
                 width = res.instr.num_blocks * self._bits_per_block(instr)
                 total.result |= res.result << bits_filled
                 bits_filled += width
@@ -218,7 +226,7 @@ class ComputeCacheController:
                 BlockOperand(instr.src1 + off, is_dest=False),
                 BlockOperand(instr.src2 + off, is_dest=False),
             ]
-        if op is Opcode.SEARCH:
+        if op in (Opcode.SEARCH, Opcode.REDUCE):
             return [BlockOperand(instr.src1 + off, is_dest=False)]
         if op is Opcode.CLMUL:
             if instr.broadcast_src2:
@@ -227,7 +235,7 @@ class ComputeCacheController:
                 BlockOperand(instr.src1 + off, is_dest=False),
                 BlockOperand(instr.src2 + off, is_dest=False),
             ]
-        # and / or / xor
+        # and / or / xor / add / mul
         return [
             BlockOperand(instr.src1 + off, is_dest=False),
             BlockOperand(instr.src2 + off, is_dest=False),
@@ -237,7 +245,8 @@ class ComputeCacheController:
     def _overwrites_dest(self, instr: CCInstruction) -> bool:
         """Destination blocks that are fully overwritten skip their fetch."""
         return instr.opcode in (Opcode.COPY, Opcode.BUZ, Opcode.NOT,
-                                Opcode.AND, Opcode.OR, Opcode.XOR)
+                                Opcode.AND, Opcode.OR, Opcode.XOR,
+                                Opcode.ADD, Opcode.MUL)
 
     def _select_level(self, instr: CCInstruction, force_level: str | None) -> str:
         if force_level is not None:
@@ -284,7 +293,32 @@ class ComputeCacheController:
         inplace_ops = nearplace_ops = risc_ops = 0
         nearplace_cycles = 0.0
         clmul_bits: list[tuple[int, int]] = []
+        reduce_sum = 0
         replications_before = self.stats.key_replications
+
+        # Bit-serial layout conversion (arithmetic tier): every source
+        # block not already transposed goes through the transpose unit
+        # before the sub-arrays can compute on it.  Charged per
+        # instruction regardless of the eventual in-place/near-place/RISC
+        # outcome, so accounting is a pure function of the instruction
+        # stream (backend- and dispatch-invariant).
+        transpose_cycles = 0.0
+        if instr.opcode.is_arith:
+            ranges = [(instr.src1, instr.size)]
+            if instr.src2 is not None:
+                ranges.append((instr.src2, instr.size))
+            blocks, transpose_cycles = self.transpose.convert(ranges)
+            if blocks:
+                cache = self.hierarchy.level_cache(level, self.core_id, instr.src1)
+                charge_transpose(cache.ledger, cache.name, blocks)
+                self.stats.transpose_blocks += blocks
+                self.stats.transpose_cycles += transpose_cycles
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "cc.transpose", core=self.core_id, level=level,
+                        opcode=instr.opcode.value, instr_id=entry.instr_id,
+                        blocks=blocks, span=float(transpose_cycles),
+                    )
 
         # Key staging for cc_search and broadcast cc_clmul: read the key
         # block once; replicate it per partition through the key table.
@@ -318,6 +352,7 @@ class ComputeCacheController:
                 subarray_op=instr.opcode.subarray_op,
                 operands=self._block_operands(instr, idx),
                 lane_bits=instr.lane_bits,
+                elem_bits=instr.elem_bits,
             )
             self.operation_table.allocate(op)
             ops.append(op)
@@ -332,13 +367,16 @@ class ComputeCacheController:
                                 fetch_latencies, partition_load)
 
         tracer = self.tracer
+        inplace_span = float(
+            self.inplace.op_latency(instr.opcode.subarray_op, instr.elem_bits)
+        )
         for op in ops:
             if op.status is OpStatus.FAILED:
                 risc_ops += 1
                 outcome, span = "risc-fallback", 0.0
             elif op.inplace:
                 inplace_ops += 1
-                outcome, span = "in-place", float(self.inplace.inplace_latency)
+                outcome, span = "in-place", inplace_span
             else:
                 nearplace_ops += 1
                 nearplace_cycles += self.nearplace.nearplace_latency
@@ -357,6 +395,12 @@ class ComputeCacheController:
             if instr.opcode is Opcode.CLMUL:
                 clmul_bits.append((op.result_bits, op.result_bit_count))
                 entry.complete_op()
+            elif instr.opcode is Opcode.REDUCE:
+                # Block partial sums accumulate modulo 2^64 outside the
+                # instruction entry: complete_op's bit-packing contract
+                # (shift-OR of fixed-width fields) cannot express them.
+                reduce_sum = (reduce_sum + op.result_bits) & ((1 << 64) - 1)
+                entry.complete_op()
             else:
                 entry.complete_op(op.result_bits, op.result_bit_count)
             op.status = OpStatus.DONE if op.status is not OpStatus.FAILED else op.status
@@ -367,9 +411,11 @@ class ComputeCacheController:
             result_bytes = self._pack_clmul_result(clmul_bits)
 
         fetch_cycles = self._fetch_makespan(fetch_latencies)
-        compute_cycles = self._compute_makespan(level, partition_load, nearplace_cycles)
+        compute_cycles = self._compute_makespan(level, partition_load, nearplace_cycles,
+                                                inplace_span)
         notify = self.config.l1d.hit_latency  # L1 controller -> core completion
-        cycles = INSTRUCTION_OVERHEAD_CYCLES + fetch_cycles + compute_cycles + notify
+        cycles = (INSTRUCTION_OVERHEAD_CYCLES + fetch_cycles + transpose_cycles
+                  + compute_cycles + notify)
         # Controller occupancy: decode + every block command down the
         # unreplicated address bus, plus any serial near-place logic-unit
         # time.  Key replication is a single broadcast command (the H-tree
@@ -392,14 +438,25 @@ class ComputeCacheController:
             self.stats.level_compute_cycles.get(level, 0.0) + compute_cycles
         )
         self.key_table.release(entry.instr_id)
-        result = entry.result_mask
+        result = reduce_sum if instr.opcode is Opcode.REDUCE else entry.result_mask
         self.instruction_table.retire(entry.instr_id)
+        # Layout tracking: arithmetic destinations come out bit-serial
+        # (free); any other destination write reverts its blocks to
+        # row-major, so the next arithmetic use pays the conversion again.
+        if instr.opcode.is_arith:
+            if instr.dest is not None:
+                self.transpose.mark_bit_serial(instr.dest, instr.size)
+        elif instr.opcode is Opcode.BUZ:
+            self.transpose.invalidate(instr.src1, instr.size)
+        elif instr.dest is not None:
+            self.transpose.invalidate(instr.dest, instr.operand_length("dest"))
         if tracer is not None:
             # Per-piece cycle attribution: the emitted phase spans sum
             # exactly to this piece's latency (the profiler asserts it).
             for phase, span in (
                 ("decode", float(INSTRUCTION_OVERHEAD_CYCLES)),
                 ("operand-fetch", float(fetch_cycles)),
+                ("transpose", float(transpose_cycles)),
                 ("compute-inplace", float(compute_cycles - nearplace_cycles)),
                 ("compute-nearplace", float(nearplace_cycles)),
                 ("notify", float(notify)),
@@ -542,10 +599,11 @@ class ComputeCacheController:
         fetch can evict a block an earlier op already located.
         """
         op = instr.opcode
-        if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.COPY):
+        if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT, Opcode.COPY,
+                  Opcode.ADD, Opcode.MUL):
             dest = instr.dest
             srcs = [instr.src1]
-            if op in (Opcode.AND, Opcode.OR, Opcode.XOR):
+            if op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.ADD, Opcode.MUL):
                 srcs.append(instr.src2)
             for src in srcs:
                 if src != dest and src < dest + instr.size and dest < src + instr.size:
@@ -625,8 +683,10 @@ class ComputeCacheController:
         dest_row = next(
             (loc[1] for o, loc in zip(op.operands, locs) if o.is_dest), None
         )
-        if subop in ("and", "or", "xor"):
+        if subop in ("and", "or", "xor", "add", "mul"):
             triple = (sources[0], sources[1], dest_row)
+        elif subop == "reduce":
+            triple = (sources[0], None, None)
         elif subop in ("not", "copy"):
             triple = (sources[0], None, dest_row)
         elif subop == "buz":
@@ -830,6 +890,26 @@ class ComputeCacheController:
             op.result_bits, op.result_bit_count = NearPlaceUnit._clmul(
                 sources[0], other, op.lane_bits or 64
             )
+        elif subop in ("add", "mul"):
+            import numpy as np
+
+            from ..kernels import arith_rows
+
+            result_data = arith_rows(
+                subop,
+                np.frombuffer(sources[0], dtype=np.uint8),
+                np.frombuffer(sources[1], dtype=np.uint8),
+                op.elem_bits or 8,
+            )[0].tobytes()
+        elif subop == "reduce":
+            import numpy as np
+
+            from ..kernels import reduce_rows
+
+            total = int(reduce_rows(
+                np.frombuffer(sources[0], dtype=np.uint8), op.elem_bits or 8
+            )[0])
+            op.result_bits, op.result_bit_count = total, 0
         else:
             raise ReproError(f"no RISC fallback for {subop!r}")
         dest = op.dest_operand
@@ -860,13 +940,18 @@ class ComputeCacheController:
         return cache.htree.command_issue_cycles(commands)
 
     def _compute_makespan(self, level: str, partition_load: dict[int, int],
-                          nearplace_cycles: float) -> float:
+                          nearplace_cycles: float,
+                          inplace_latency: float | None = None) -> float:
         """In-place ops stream down the address bus and run concurrently
         across partitions, serially within one; near-place ops serialize
-        through the controller's logic unit."""
+        through the controller's logic unit.  ``inplace_latency`` is the
+        per-block-op latency (step-scaled for the arithmetic tier);
+        defaults to the single-step in-place latency."""
+        if inplace_latency is None:
+            inplace_latency = float(self.inplace.inplace_latency)
         makespan = nearplace_cycles
         if partition_load:
             issue = self._issue_cycles(level, sum(partition_load.values()))
             busiest = max(partition_load.values())
-            makespan += issue + busiest * self.inplace.inplace_latency
+            makespan += issue + busiest * inplace_latency
         return makespan

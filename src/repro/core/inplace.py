@@ -17,9 +17,10 @@ from dataclasses import dataclass
 
 from ..bitops import popcount_mask
 from ..cache.cache import CacheLevel
-from ..energy.mcpat import charge_cc_op
+from ..energy.mcpat import charge_cc_arith, charge_cc_op
 from ..errors import OperandLocalityError, ReproError
 from ..params import BLOCK_SIZE
+from ..sram.timing import ARITH_OPS, arith_steps
 from .operation_table import BlockOperation, OpStatus
 
 
@@ -41,6 +42,35 @@ class InPlaceExecutor:
         self.inplace_latency = inplace_latency
         self.ops_executed = 0
 
+    def op_latency(self, subop: str, elem_bits: int | None = None) -> int:
+        """Latency of one in-place block op.
+
+        The single-step ops take the fixed ``inplace_latency``; the
+        bit-serial arithmetic ops add one cycle per bit-serial step on top
+        of the same decode/sequencing overhead."""
+        if subop in ARITH_OPS:
+            if elem_bits is None:
+                raise ReproError(f"{subop} needs an element width")
+            n_elems = (BLOCK_SIZE * 8) // elem_bits
+            return self.inplace_latency + arith_steps(subop, elem_bits, n_elems)
+        return self.inplace_latency
+
+    def _charge(self, level: CacheLevel, subop: str,
+                elem_bits: int | None) -> None:
+        """Table-V ledger charge for one in-place block op (step-scaled
+        for the arithmetic tier)."""
+        if subop in ARITH_OPS:
+            n_elems = (BLOCK_SIZE * 8) // (elem_bits or 8)
+            charge_cc_arith(level.ledger, level.name, subop, elem_bits or 8,
+                            n_elems)
+            return
+        # Search's Table V energy (cmp + key write) is charged in two
+        # parts: the compare here, the key-replication write by the
+        # controller's key table (amortized across blocks sharing a
+        # partition).
+        charge_cc_op(level.ledger, level.name,
+                     "cmp" if subop == "search" else subop)
+
     def execute(self, level: CacheLevel, op: BlockOperation) -> InPlaceOutcome:
         """Run one simple vector operation in place."""
         addrs = op.addresses
@@ -55,11 +85,7 @@ class InPlaceExecutor:
         if handler is None:
             raise ReproError(f"no in-place handler for {op.subarray_op!r}")
         outcome = handler(level, op, partition)
-        # Search's Table V energy (cmp + key write) is charged in two parts:
-        # the compare here, the key-replication write by the controller's
-        # key table (amortized across blocks sharing a partition).
-        charge_op = "cmp" if op.subarray_op == "search" else op.subarray_op
-        charge_cc_op(level.ledger, level.name, charge_op)
+        self._charge(level, op.subarray_op, op.elem_bits)
         level.stats.cc_inplace_ops += 1
         self.ops_executed += 1
         if level.tracer is not None:
@@ -67,7 +93,7 @@ class InPlaceExecutor:
                 "subarray.op", level=level.name, unit=level.unit,
                 opcode=op.subarray_op, partition=partition,
                 addr=op.operands[0].addr, instr_id=op.instr_id,
-                span=float(self.inplace_latency),
+                span=float(self.op_latency(op.subarray_op, op.elem_bits)),
             )
         return outcome
 
@@ -86,14 +112,15 @@ class InPlaceExecutor:
             return
         subop = items[0][0].subarray_op
         lane_bits = items[0][0].lane_bits
+        elem_bits = items[0][0].elem_bits
         rows_a = [rows[0] for _, rows in items]
         rows_b = [rows[1] for _, rows in items] if items[0][1][1] is not None else None
         rows_dest = [rows[2] for _, rows in items] if items[0][1][2] is not None else None
         results = subarray.op_batch(
             subop, rows_a, rows_b, rows_dest,
-            key_bytes=BLOCK_SIZE, lane_bits=lane_bits,
+            key_bytes=BLOCK_SIZE, lane_bits=lane_bits, elem_bits=elem_bits,
         )
-        charge_op = "cmp" if subop == "search" else subop
+        span = float(self.op_latency(subop, elem_bits))
         for (op, _rows), result in zip(items, results):
             if subop == "cmp":
                 op.result_bits, op.result_bit_count = result, BLOCK_SIZE // 8
@@ -103,12 +130,17 @@ class InPlaceExecutor:
                 lanes = (BLOCK_SIZE * 8) // (lane_bits or 64)
                 bits = int.from_bytes(result, "little") & ((1 << lanes) - 1)
                 op.result_bits, op.result_bit_count = bits, lanes
+            elif subop == "reduce":
+                # The block-wide sum can exceed 64 result bits' packing
+                # contract, so it rides result_bits raw (bit_count 0) and
+                # the controller accumulates it CLMUL-style.
+                op.result_bits, op.result_bit_count = result, 0
             else:
                 op.result_bits, op.result_bit_count = 0, 0
             op.partition = partition
             op.inplace = True
             op.status = OpStatus.ISSUED
-            charge_cc_op(level.ledger, level.name, charge_op)
+            self._charge(level, subop, elem_bits)
             level.stats.cc_inplace_ops += 1
             self.ops_executed += 1
             if level.tracer is not None:
@@ -116,7 +148,7 @@ class InPlaceExecutor:
                     "subarray.op", level=level.name, unit=level.unit,
                     opcode=subop, partition=partition,
                     addr=op.operands[0].addr, instr_id=op.instr_id,
-                    span=float(self.inplace_latency),
+                    span=span,
                 )
 
     # -- split seam for cross-instruction fusion (repro.core.stream) ---------------
@@ -134,12 +166,12 @@ class InPlaceExecutor:
         known before the kernel runs (result bits are not part of them).
         """
         subop = items[0][0].subarray_op
-        charge_op = "cmp" if subop == "search" else subop
+        span = float(self.op_latency(subop, items[0][0].elem_bits))
         for op, _rows in items:
             op.partition = partition
             op.inplace = True
             op.status = OpStatus.ISSUED
-            charge_cc_op(level.ledger, level.name, charge_op)
+            self._charge(level, subop, op.elem_bits)
             level.stats.cc_inplace_ops += 1
             self.ops_executed += 1
             if level.tracer is not None:
@@ -147,7 +179,7 @@ class InPlaceExecutor:
                     "subarray.op", level=level.name, unit=level.unit,
                     opcode=subop, partition=partition,
                     addr=op.operands[0].addr, instr_id=op.instr_id,
-                    span=float(self.inplace_latency),
+                    span=span,
                 )
 
     def kernel_batch(self, subarray,
@@ -164,12 +196,13 @@ class InPlaceExecutor:
             return
         subop = items[0][0].subarray_op
         lane_bits = items[0][0].lane_bits
+        elem_bits = items[0][0].elem_bits
         rows_a = [rows[0] for _, rows in items]
         rows_b = [rows[1] for _, rows in items] if items[0][1][1] is not None else None
         rows_dest = [rows[2] for _, rows in items] if items[0][1][2] is not None else None
         results = subarray.op_batch(
             subop, rows_a, rows_b, rows_dest,
-            key_bytes=BLOCK_SIZE, lane_bits=lane_bits,
+            key_bytes=BLOCK_SIZE, lane_bits=lane_bits, elem_bits=elem_bits,
         )
         for (op, _rows), result in zip(items, results):
             if subop == "cmp":
@@ -180,6 +213,8 @@ class InPlaceExecutor:
                 lanes = (BLOCK_SIZE * 8) // (lane_bits or 64)
                 bits = int.from_bytes(result, "little") & ((1 << lanes) - 1)
                 op.result_bits, op.result_bit_count = bits, lanes
+            elif subop == "reduce":
+                op.result_bits, op.result_bit_count = result, 0
             else:
                 op.result_bits, op.result_bit_count = 0, 0
 
@@ -266,6 +301,43 @@ class InPlaceExecutor:
         _, row_data = level.locate(src[0].addr)
         mask = sub.op_search(row_data, level.geometry.key_row, key_bytes=BLOCK_SIZE)
         return InPlaceOutcome(mask & 1, 1, self.inplace_latency, partition)
+
+    def _arith2(self, level: CacheLevel, op: BlockOperation, partition: int,
+                method_name: str) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = [o for o in op.operands if not o.is_dest]
+        dest = op.dest_operand
+        if len(src) != 2 or dest is None:
+            raise ReproError(f"{op.subarray_op} needs two sources and a destination")
+        if op.elem_bits is None:
+            raise ReproError(f"{op.subarray_op} needs an element width")
+        _, row_a = level.locate(src[0].addr)
+        _, row_b = level.locate(src[1].addr)
+        _, row_d = level.locate(dest.addr)
+        method = getattr(sub, method_name)
+        result = method(row_a, row_b, dest=row_d, elem_bits=op.elem_bits)
+        return InPlaceOutcome(0, 0, self.op_latency(op.subarray_op, op.elem_bits),
+                              partition, result_data=result)
+
+    def _op_add(self, level, op, partition):
+        return self._arith2(level, op, partition, "op_add")
+
+    def _op_mul(self, level, op, partition):
+        return self._arith2(level, op, partition, "op_mul")
+
+    def _op_reduce(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
+        sub = level.geometry.subarrays[partition]
+        src = op.source_operands
+        if len(src) != 1:
+            raise ReproError("reduce needs one source")
+        if op.elem_bits is None:
+            raise ReproError("reduce needs an element width")
+        _, row_s = level.locate(src[0].addr)
+        total = sub.op_reduce(row_s, elem_bits=op.elem_bits)
+        # bit_count stays 0: the 64-bit sum is carried raw in result_bits
+        # (complete_op's little-endian packing contract tops out below it).
+        return InPlaceOutcome(total, 0,
+                              self.op_latency("reduce", op.elem_bits), partition)
 
     def _op_clmul(self, level: CacheLevel, op: BlockOperation, partition: int) -> InPlaceOutcome:
         sub = level.geometry.subarrays[partition]

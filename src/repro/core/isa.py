@@ -12,6 +12,9 @@ Opcode         Src1  Src2  Dest  Size  Description
 ``cc_xor``     a     b     c     n     ``c[i] = a[i] ^ b[i]``
 ``cc_clmulX``  a     b     c     n     ``c_i = XOR_j(a[j] & b[j])``, X-bit lanes
 ``cc_not``     a     --    b     n     ``b[i] = ~a[i]``
+``cc_addW``    a     b     c     n     ``c[i] = a[i] + b[i] mod 2^W`` (bit-serial)
+``cc_mulW``    a     b     c     n     ``c[i] = a[i] * b[i] mod 2^W`` (bit-serial)
+``cc_reduceW`` a     --    r     n     ``r = sum_i a[i] mod 2^64`` (bit-serial)
 =============  ====  ====  ====  ====  ========================================
 
 Operands are register-indirect addresses; sizes are immediates up to 16 KB.
@@ -19,9 +22,19 @@ Operands are register-indirect addresses; sizes are immediates up to 16 KB.
 fits a 64-bit register; the search key is fixed at 64 bytes (smaller keys
 are duplicated or padded by software, Section IV-A).
 
-Instructions are classified CC-R (read-only: ``cc_cmp``, ``cc_search``) or
-CC-RW (the rest); the distinction drives memory-ordering treatment in the
-vector LSQ (Section IV-H).
+Instructions are classified CC-R (read-only: ``cc_cmp``, ``cc_search``,
+``cc_reduce``) or CC-RW (the rest); the distinction drives memory-ordering
+treatment in the vector LSQ (Section IV-H).
+
+The arithmetic tier (``cc_add``/``cc_mul``/``cc_reduce``) follows the
+Neural Cache successor design (arXiv 1805.03718): operands are treated as
+dense vectors of ``W``-bit unsigned integers (``W`` in 8/16/32, selected by
+``elem_bits``) laid out bit-serially (transposed) inside each sub-array, so
+the bit-line logic computes one result bit-plane per step.  All arithmetic
+wraps modulo ``2^W`` (numpy unsigned semantics); ``cc_reduce`` accumulates
+the element sum modulo ``2^64`` into the 64-bit result register.  Layout
+conversion between the row-major cache layout and the bit-serial layout is
+charged by the controller's transpose unit (:mod:`repro.core.transpose`).
 """
 
 from __future__ import annotations
@@ -45,11 +58,14 @@ class Opcode(enum.Enum):
     XOR = "cc_xor"
     CLMUL = "cc_clmul"
     NOT = "cc_not"
+    ADD = "cc_add"
+    MUL = "cc_mul"
+    REDUCE = "cc_reduce"
 
     @property
     def reads_only(self) -> bool:
         """CC-R instructions only read memory (Section IV-H)."""
-        return self in (Opcode.CMP, Opcode.SEARCH)
+        return self in (Opcode.CMP, Opcode.SEARCH, Opcode.REDUCE)
 
     @property
     def is_rw(self) -> bool:
@@ -59,11 +75,16 @@ class Opcode(enum.Enum):
     @property
     def operand_count(self) -> int:
         """Number of memory operands (including any destination)."""
-        if self in (Opcode.BUZ,):
+        if self in (Opcode.BUZ, Opcode.REDUCE):
             return 1
         if self in (Opcode.COPY, Opcode.NOT, Opcode.CMP, Opcode.SEARCH):
             return 2
         return 3
+
+    @property
+    def is_arith(self) -> bool:
+        """Bit-serial arithmetic tier (Neural Cache): transposed operands."""
+        return self in (Opcode.ADD, Opcode.MUL, Opcode.REDUCE)
 
     @property
     def subarray_op(self) -> str:
@@ -78,6 +99,9 @@ class Opcode(enum.Enum):
             Opcode.XOR: "xor",
             Opcode.CLMUL: "clmul",
             Opcode.NOT: "not",
+            Opcode.ADD: "add",
+            Opcode.MUL: "mul",
+            Opcode.REDUCE: "reduce",
         }[self]
 
 
@@ -90,6 +114,8 @@ SEARCH_MAX_BYTES = 64 * SEARCH_KEY_BYTES
 """cc_search matches at key granularity (64-byte keys): 64 keys (4 KB)
 fill the 64-bit result register."""
 CLMUL_LANES = (64, 128, 256)
+ARITH_ELEM_BITS = (8, 16, 32)
+"""Element widths the bit-serial arithmetic tier supports (``elem_bits``)."""
 
 
 @dataclass(frozen=True)
@@ -107,6 +133,9 @@ class CCInstruction:
     src2: int | None = None
     dest: int | None = None
     lane_bits: int | None = None
+    elem_bits: int | None = None
+    """Element width (8/16/32) of the bit-serial arithmetic tier
+    (``cc_add``/``cc_mul``/``cc_reduce``); ``None`` for all other opcodes."""
     broadcast_src2: bool = False
     """cc_clmul variant used by BMM: ``src2`` is a single 64-byte block
     replicated into each data partition through the search-key datapath,
@@ -150,6 +179,14 @@ class CCInstruction:
                 )
         elif self.lane_bits is not None:
             raise ISAError(f"{op.value} does not take a lane width")
+        if op.is_arith:
+            if self.elem_bits not in ARITH_ELEM_BITS:
+                raise ISAError(
+                    f"{op.value} element width must be one of {ARITH_ELEM_BITS}, "
+                    f"got {self.elem_bits}"
+                )
+        elif self.elem_bits is not None:
+            raise ISAError(f"{op.value} does not take an element width")
         if self.broadcast_src2 and op is not Opcode.CLMUL:
             raise ISAError(f"{op.value} does not support src2 broadcast")
         needed = op.operand_count
@@ -293,3 +330,23 @@ def cc_clmul_bcast(a: int, b_block: int, dest: int, size: int,
         Opcode.CLMUL, src1=a, src2=b_block, dest=dest, size=size,
         lane_bits=lane_bits, broadcast_src2=True,
     )
+
+
+def cc_add(a: int, b: int, dest: int, size: int, elem_bits: int = 8) -> CCInstruction:
+    """Element-wise bit-serial addition: ``dest[i] = a[i] + b[i] mod 2^W``."""
+    return CCInstruction(
+        Opcode.ADD, src1=a, src2=b, dest=dest, size=size, elem_bits=elem_bits
+    )
+
+
+def cc_mul(a: int, b: int, dest: int, size: int, elem_bits: int = 8) -> CCInstruction:
+    """Element-wise bit-serial multiplication: ``dest[i] = a[i] * b[i] mod 2^W``."""
+    return CCInstruction(
+        Opcode.MUL, src1=a, src2=b, dest=dest, size=size, elem_bits=elem_bits
+    )
+
+
+def cc_reduce(src: int, size: int, elem_bits: int = 8) -> CCInstruction:
+    """Sum-reduce a vector of ``W``-bit elements into the 64-bit result
+    register: ``r = sum_i src[i] mod 2^64``."""
+    return CCInstruction(Opcode.REDUCE, src1=src, size=size, elem_bits=elem_bits)

@@ -24,7 +24,7 @@ import numpy as np
 from ..bitops import bytes_and, bytes_not, bytes_or, bytes_xor
 from ..cache.cache import CacheLevel
 from ..errors import ReproError
-from ..kernels import clmul_mask, equality_mask
+from ..kernels import arith_rows, clmul_mask, equality_mask, reduce_rows
 from ..params import BLOCK_SIZE
 from .operation_table import BlockOperation
 
@@ -140,6 +140,25 @@ class NearPlaceUnit:
             if other is None:
                 raise ReproError("broadcast clmul needs the staged key block")
             bits, bit_count = self._clmul(sources[0], other, op.lane_bits)
+        elif subop in ("add", "mul"):
+            # The logic unit computes word-parallel on the conventionally
+            # read (row-major) blocks - no bit-serial step penalty, but
+            # also none of the in-place energy advantage.
+            if op.elem_bits is None:
+                raise ReproError(f"{subop} needs an element width")
+            result_data = arith_rows(
+                subop,
+                np.frombuffer(sources[0], dtype=np.uint8),
+                np.frombuffer(sources[1], dtype=np.uint8),
+                op.elem_bits,
+            )[0].tobytes()
+        elif subop == "reduce":
+            if op.elem_bits is None:
+                raise ReproError("reduce needs an element width")
+            bits = int(reduce_rows(
+                np.frombuffer(sources[0], dtype=np.uint8), op.elem_bits
+            )[0])
+            bit_count = 0
         else:
             raise ReproError(f"no near-place handler for {subop!r}")
 

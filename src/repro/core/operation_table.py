@@ -48,6 +48,8 @@ class BlockOperation:
     subarray_op: str
     operands: list[BlockOperand]
     lane_bits: int | None = None
+    elem_bits: int | None = None
+    """Element width of the bit-serial arithmetic ops (cc_add/mul/reduce)."""
     status: OpStatus = OpStatus.WAITING
     partition: int | None = None
     inplace: bool = True

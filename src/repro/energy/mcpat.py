@@ -120,6 +120,35 @@ def charge_cc_op(ledger: EnergyLedger, level_name: str, op: str) -> None:
     ledger.add(access_c, cc_op_energy(table_level, op))
 
 
+def charge_cc_arith(ledger: EnergyLedger, level_name: str, op: str,
+                    elem_bits: int, n_elems: int | None = None) -> None:
+    """Charge one in-place bit-serial arithmetic block operation.
+
+    Like :func:`charge_cc_op` the energy never traverses the H-tree, but
+    it scales with the bit-serial step count (Table V logic energy per
+    step, see :func:`repro.energy.tables.cc_arith_energy`).
+    """
+    from .tables import cc_arith_energy
+
+    access_c, _ = Component.for_level(level_name)
+    table_level = "L1-D" if level_name.startswith("L1") else level_name
+    ledger.add(access_c, cc_arith_energy(table_level, op, elem_bits, n_elems))
+
+
+def charge_transpose(ledger: EnergyLedger, level_name: str, blocks: int) -> None:
+    """Charge ``blocks`` row-major <-> bit-serial layout conversions.
+
+    Each conversion is one data-array read plus one write through the
+    sub-array-periphery transpose unit (no H-tree component)."""
+    from .tables import transpose_energy
+
+    if blocks <= 0:
+        return
+    access_c, _ = Component.for_level(level_name)
+    table_level = "L1-D" if level_name.startswith("L1") else level_name
+    ledger.add(access_c, blocks * transpose_energy(table_level))
+
+
 def charge_key_broadcast(ledger: EnergyLedger, level_name: str) -> None:
     """One H-tree broadcast of a 64-byte key to all target sub-arrays.
 
@@ -156,8 +185,9 @@ def charge_nearplace_op(ledger: EnergyLedger, level_name: str, op: str) -> None:
     from .tables import read_energy, write_energy
 
     table_level = "L1-D" if level_name.startswith("L1") else level_name
-    reads = {"copy": 1, "buz": 0, "not": 1, "cmp": 2, "search": 2}.get(op, 2)
-    writes = 0 if op in ("cmp", "search") else 1
+    reads = {"copy": 1, "buz": 0, "not": 1, "cmp": 2, "search": 2,
+             "reduce": 1}.get(op, 2)
+    writes = 0 if op in ("cmp", "search", "reduce") else 1
     for _ in range(reads):
         charge_cache_read(ledger, level_name)
     for _ in range(writes):

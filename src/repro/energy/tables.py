@@ -84,10 +84,16 @@ _OP_COLUMN = {
     "nor": "logic",
     "xor": "logic",
     "clmul": "cmp",
+    "add": "logic",
+    "mul": "logic",
+    "reduce": "logic",
 }
 """Maps sub-array op names onto Table V columns.  ``buz`` shares the copy
 column (same write-only data path); ``clmul`` shares the cmp column (same
-1.5x energy class per Section VI-C)."""
+1.5x energy class per Section VI-C).  The bit-serial arithmetic ops
+(``add``/``mul``/``reduce``) charge the logic column *per bit-serial step*
+— use :func:`cc_arith_energy`, which scales by the step count, rather than
+:func:`cc_op_energy` directly."""
 
 
 def _level_table(level: str) -> dict[str, float]:
@@ -114,6 +120,34 @@ def cc_op_energy(level: str, op: str) -> float:
         return table[_OP_COLUMN[op]]
     except KeyError:
         raise ISAError(f"unknown CC operation {op!r}") from None
+
+
+def cc_arith_energy(level: str, op: str, elem_bits: int,
+                    n_elems: int | None = None) -> float:
+    """Energy of one bit-serial arithmetic block operation (pJ).
+
+    Each bit-serial step is a dual-row activation of the same circuit
+    class as the logical ops, so the per-op energy is the Table V logic
+    energy scaled by the step count (:func:`repro.sram.timing.arith_steps`).
+    ``n_elems`` (elements per block) is required for ``reduce``.
+    """
+    from ..sram.timing import arith_steps
+
+    return arith_steps(op, elem_bits, n_elems) * cc_op_energy(level, op)
+
+
+def transpose_energy(level: str) -> float:
+    """Energy of converting one block between row-major and bit-serial
+    layout (pJ).
+
+    The transpose unit sits at the sub-array periphery (Neural Cache
+    Section 5): one data-array read plus one data-array write, with no
+    H-tree traversal — the Table V read/write energies minus their
+    Table I interconnect shares.
+    """
+    ic = CACHE_IC_ENERGY_PJ[level]
+    table = _level_table(level)
+    return max(table["read"] - ic, 0.0) + max(table["write"] - ic, 0.0)
 
 
 def htree_fraction(level: str) -> float:

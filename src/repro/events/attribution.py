@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from .tracer import Event
 
 MACHINE_PHASES = ("issue", "load-stall", "mlp-stall", "cc-drain")
-CC_PHASES = ("decode", "operand-fetch", "compute-inplace",
+CC_PHASES = ("decode", "operand-fetch", "transpose", "compute-inplace",
              "compute-nearplace", "notify")
 
 

@@ -39,6 +39,9 @@ Event kinds
                     ``locality-miss``, ``pin-loss``, ``forced``).
 ``cc.fetch``        One operand fetch to the compute level (``span`` =
                     fetch latency).
+``cc.transpose``    Row-major -> bit-serial layout conversion before an
+                    arithmetic instruction (``blocks`` converted,
+                    ``span`` = conversion makespan in cycles).
 ``cc.pin_retry``    A lost pin forcing a re-fetch attempt.
 ``cc.pin_loss``     A forwarded coherence request stealing a pinned line.
 ``cc.key_replicate``A search key written into a partition's key row.
@@ -109,6 +112,7 @@ class Event:
     outcome: str | None = None
     reason: str | None = None
     phase: str | None = None
+    blocks: int | None = None
 
 
 EVENT_FIELDS = tuple(f.name for f in fields(Event))

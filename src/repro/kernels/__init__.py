@@ -14,19 +14,23 @@ circuit model by the differential-equivalence harness
 from .packed import (
     POPCOUNT8,
     PackedCellArray,
+    arith_rows,
     clmul_mask,
     equality_mask,
     logical_rows,
     pack_flags,
+    reduce_rows,
     search_mask,
 )
 
 __all__ = [
     "POPCOUNT8",
     "PackedCellArray",
+    "arith_rows",
     "clmul_mask",
     "equality_mask",
     "logical_rows",
     "pack_flags",
+    "reduce_rows",
     "search_mask",
 ]

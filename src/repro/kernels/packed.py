@@ -29,6 +29,10 @@ LOGICAL_KERNELS = {
     "nor": lambda a, b: ~(a | b),
 }
 
+ARITH_DTYPES = {8: "<u1", 16: "<u2", 32: "<u4"}
+"""Little-endian unsigned element views for the bit-serial arithmetic tier:
+element 0 occupies the lowest-addressed bytes of the row."""
+
 
 def _as_matrix(arr: np.ndarray) -> np.ndarray:
     """View a kernel operand as ``(n_rows, row_bytes)``."""
@@ -120,6 +124,50 @@ def clmul_mask(a: np.ndarray, b: np.ndarray, lane_bits: int) -> np.ndarray:
     counts = POPCOUNT8[a & b].reshape(n, width // lane_bytes, lane_bytes)
     parity = counts.sum(axis=2, dtype=np.uint32) & 1
     return pack_flags(parity.astype(bool))
+
+
+def _elem_view(a: np.ndarray, elem_bits: int) -> np.ndarray:
+    """View packed rows as ``(n, n_elems)`` unsigned elements."""
+    try:
+        dtype = ARITH_DTYPES[elem_bits]
+    except KeyError:
+        raise AddressError(f"no packed arithmetic for {elem_bits}-bit elements") from None
+    a = _as_matrix(a)
+    if a.shape[1] % (elem_bits // 8):
+        raise AddressError(
+            f"row of {a.shape[1]} bytes is not divisible by "
+            f"{elem_bits // 8}-byte elements"
+        )
+    return np.ascontiguousarray(a).view(dtype)
+
+
+def arith_rows(op: str, a: np.ndarray, b: np.ndarray, elem_bits: int) -> np.ndarray:
+    """Element-wise bit-serial arithmetic over packed rows: add/mul.
+
+    ``a`` and ``b`` are ``(n, row_bytes)`` (or 1-D single-row) uint8 arrays
+    interpreted as little-endian ``elem_bits``-wide unsigned integers; the
+    result wraps modulo ``2^elem_bits`` (numpy unsigned semantics) and is
+    returned re-packed as uint8 with ``a``'s matrix shape.
+    """
+    ea = _elem_view(a, elem_bits)
+    eb = _elem_view(b, elem_bits)
+    if op == "add":
+        out = ea + eb
+    elif op == "mul":
+        out = ea * eb
+    else:
+        raise AddressError(f"no packed arithmetic kernel for operation {op!r}")
+    return out.view(np.uint8)
+
+
+def reduce_rows(a: np.ndarray, elem_bits: int) -> np.ndarray:
+    """Per-row element sum modulo ``2^64``: ``(n,)`` uint64 accumulators.
+
+    The bit-serial reduction tree of ``cc_reduce`` evaluated as one numpy
+    sum per packed row (zero-extended elements, 64-bit wraparound).
+    """
+    ea = _elem_view(a, elem_bits)
+    return ea.astype(np.uint64).sum(axis=1, dtype=np.uint64)
 
 
 class PackedCellArray:

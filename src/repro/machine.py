@@ -98,6 +98,8 @@ class ComputeCacheMachine:
                 raise AddressError(
                     f"backdoor load into cached block {block:#x}; use write()"
                 )
+        for controller in self.controllers:
+            controller.transpose.invalidate(addr, len(data))
         self.hierarchy.memory.load(addr, data)
 
     def peek(self, addr: int, size: int) -> bytes:
@@ -105,7 +107,13 @@ class ComputeCacheMachine:
         return self.hierarchy.coherent_peek(addr, size)
 
     def write(self, addr: int, data: bytes, core: int = 0) -> int:
-        """Write through the cache hierarchy; returns latency."""
+        """Write through the cache hierarchy; returns latency.
+
+        A conventional write reverts any bit-serial (transposed) blocks in
+        its range to row-major layout (see :mod:`repro.core.transpose`).
+        """
+        for controller in self.controllers:
+            controller.transpose.invalidate(addr, len(data))
         return self.hierarchy.write(core, addr, data)
 
     def read(self, addr: int, size: int, core: int = 0) -> bytes:

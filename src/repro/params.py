@@ -192,6 +192,9 @@ class ComputeCacheConfig:
 
     inplace_latency: int = 14
     nearplace_latency: int = 22
+    transpose_latency: int = 8
+    """Cycles to convert one cache block between row-major and bit-serial
+    layout in the sub-array-periphery transpose unit (Neural Cache)."""
     max_activated_wordlines: int = 64
     max_operand_bytes: int = 16 * 1024
     cmp_search_max_bytes: int = 512

@@ -21,6 +21,9 @@ Supported in-place operations (all bit-exact):
 ``cmp``        per-word wired-NOR of the XOR result -> equality mask
 ``search``     ``cmp`` against a key previously written to a row
 ``clmul``      AND of two rows, XOR-reduction tree per lane
+``add``        bit-serial element-wise addition (Neural Cache tier)
+``mul``        bit-serial element-wise multiplication
+``reduce``     bit-serial element-sum into a 64-bit accumulator
 =============  =====================================================
 
 Execution backends
@@ -52,11 +55,19 @@ import numpy as np
 
 from ..bitops import bits_to_bytes, bytes_to_bits, word_equality_mask, xor_reduce_lanes
 from ..errors import AddressError, ConfigError, ISAError
-from ..kernels import PackedCellArray, clmul_mask, equality_mask, logical_rows, pack_flags
+from ..kernels import (
+    PackedCellArray,
+    arith_rows,
+    clmul_mask,
+    equality_mask,
+    logical_rows,
+    pack_flags,
+    reduce_rows,
+)
 from .bitcell import BitCellArray
 from .decoder import DualRowDecoder
 from .sense_amp import SenseAmpColumn, SenseMode
-from .timing import SubarrayTiming
+from .timing import SubarrayTiming, arith_steps
 
 BACKEND_BITEXACT = "bitexact"
 BACKEND_PACKED = "packed"
@@ -78,10 +89,15 @@ class SubarrayOp:
     CMP = "cmp"
     SEARCH = "search"
     CLMUL = "clmul"
+    ADD = "add"
+    MUL = "mul"
+    REDUCE = "reduce"
 
     LOGICAL = frozenset({AND, OR, NOR, XOR})
+    ARITH = frozenset({ADD, MUL, REDUCE})
     ALL = frozenset(
-        {READ, WRITE, AND, OR, NOR, XOR, NOT, COPY, BUZ, CMP, SEARCH, CLMUL}
+        {READ, WRITE, AND, OR, NOR, XOR, NOT, COPY, BUZ, CMP, SEARCH, CLMUL,
+         ADD, MUL, REDUCE}
     )
 
 
@@ -313,6 +329,119 @@ class ComputeSubarray:
         self._account(SubarrayOp.SEARCH)
         return word_equality_mask(xor_bits, key_bytes * 8)
 
+    # -- bit-serial arithmetic (Neural Cache tier) ----------------------------
+
+    def _check_elem_width(self, elem_bits: int) -> None:
+        if elem_bits not in (8, 16, 32):
+            raise ISAError(f"arithmetic element width must be 8/16/32, got {elem_bits}")
+        if self.cols % elem_bits:
+            raise ISAError(
+                f"{self.cols}-bit row is not divisible into {elem_bits}-bit elements"
+            )
+
+    def _row_bit_planes(self, row: int, elem_bits: int) -> np.ndarray:
+        """Row contents as ``(n_elems, elem_bits)`` bit planes, LSB first.
+
+        This is the transposed (bit-serial) view the Neural Cache circuits
+        operate on: column *k* is bit-plane *k* of every element.  Elements
+        are little-endian within the row (element 0 lowest-addressed).
+        """
+        raw = np.frombuffer(bits_to_bytes(self.cells.read_row(row)), dtype=np.uint8)
+        return (
+            np.unpackbits(raw, bitorder="little").astype(bool).reshape(-1, elem_bits)
+        )
+
+    @staticmethod
+    def _planes_to_bits(planes: np.ndarray) -> np.ndarray:
+        """Bit planes back to the row's MSB-first bit layout."""
+        raw = np.packbits(planes.astype(np.uint8).ravel(), bitorder="little")
+        return np.unpackbits(raw).astype(bool)
+
+    @staticmethod
+    def _serial_add_planes(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """The bit-serial full-adder loop: one pass per bit plane.
+
+        Each step computes sum and carry planes exactly as the bit-line
+        logic does (``s = a ^ b ^ c``, ``c' = ab + c(a ^ b)``); the final
+        carry is dropped (wraparound modulo ``2^w``).
+        """
+        out = np.zeros_like(a)
+        carry = np.zeros(a.shape[0], dtype=bool)
+        for k in range(a.shape[1]):
+            ak, bk = a[:, k], b[:, k]
+            axb = ak ^ bk
+            out[:, k] = axb ^ carry
+            carry = (ak & bk) | (carry & axb)
+        return out
+
+    @classmethod
+    def _serial_mul_planes(cls, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bit-serial shift-and-add multiplication over bit planes.
+
+        Partial product *k* is ``a`` shifted up *k* planes, predicated on
+        bit plane *k* of ``b``, accumulated with the full-adder loop; all
+        shifts and sums truncate at ``w`` planes (modulo ``2^w``).
+        """
+        acc = np.zeros_like(a)
+        w = a.shape[1]
+        for k in range(w):
+            pp = np.zeros_like(a)
+            pp[:, k:] = a[:, : w - k]
+            pp &= b[:, k][:, None]
+            acc = cls._serial_add_planes(acc, pp)
+        return acc
+
+    def op_add(self, row_a: int, row_b: int, dest: int | None = None,
+               elem_bits: int = 8) -> bytes:
+        """Element-wise bit-serial addition of two rows (cc_add)."""
+        self._check_elem_width(elem_bits)
+        steps = arith_steps(SubarrayOp.ADD, elem_bits)
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.ADD, steps=steps)
+            return self._finish_packed(arith_rows("add", a, b, elem_bits)[0], dest)
+        a = self._row_bit_planes(row_a, elem_bits)
+        b = self._row_bit_planes(row_b, elem_bits)
+        out = self._serial_add_planes(a, b)
+        self._account(SubarrayOp.ADD, steps=steps)
+        return self._finish(self._planes_to_bits(out), dest)
+
+    def op_mul(self, row_a: int, row_b: int, dest: int | None = None,
+               elem_bits: int = 8) -> bytes:
+        """Element-wise bit-serial multiplication of two rows (cc_mul)."""
+        self._check_elem_width(elem_bits)
+        steps = arith_steps(SubarrayOp.MUL, elem_bits)
+        if self.is_packed:
+            a, b = self._packed_rows(row_a, row_b)
+            self._account(SubarrayOp.MUL, steps=steps)
+            return self._finish_packed(arith_rows("mul", a, b, elem_bits)[0], dest)
+        a = self._row_bit_planes(row_a, elem_bits)
+        b = self._row_bit_planes(row_b, elem_bits)
+        out = self._serial_mul_planes(a, b)
+        self._account(SubarrayOp.MUL, steps=steps)
+        return self._finish(self._planes_to_bits(out), dest)
+
+    def op_reduce(self, row: int, elem_bits: int = 8) -> int:
+        """Sum the row's elements modulo ``2^64`` (cc_reduce).
+
+        Bit-exact reference: accumulate per bit plane
+        (``sum_i e_i = sum_k 2^k * popcount(plane k)``), which is exactly
+        what the log-depth reduction tree computes.
+        """
+        self._check_elem_width(elem_bits)
+        n_elems = self.cols // elem_bits
+        steps = arith_steps(SubarrayOp.REDUCE, elem_bits, n_elems)
+        if self.is_packed:
+            (a,) = self._packed_rows(row)
+            self._account(SubarrayOp.REDUCE, steps=steps)
+            return int(reduce_rows(a, elem_bits)[0])
+        planes = self._row_bit_planes(row, elem_bits)
+        total = 0
+        for k in range(elem_bits):
+            total += int(planes[:, k].sum()) << k
+        self._account(SubarrayOp.REDUCE, steps=steps)
+        return total & 0xFFFFFFFFFFFFFFFF
+
     def op_clmul(self, row_a: int, row_b: int, lane_bits: int) -> bytes:
         """Carry-less multiply: AND of two rows + XOR-reduction per lane.
 
@@ -345,6 +474,7 @@ class ComputeSubarray:
         word_bits: int = 64,
         key_bytes: int = 64,
         lane_bits: int | None = None,
+        elem_bits: int | None = None,
     ) -> list:
         """Issue one operation over many row tuples of this sub-array.
 
@@ -357,14 +487,15 @@ class ComputeSubarray:
 
         Returns a list with one entry per row tuple: result ``bytes`` for
         data-producing ops, ``int`` masks for ``cmp``/``search``, packed
-        ``bytes`` for ``clmul``, and ``None`` for ``buz``.
+        ``bytes`` for ``clmul``, ``int`` partial sums for ``reduce``, and
+        ``None`` for ``buz``.
         """
         if not rows_a:
             return []
         if not self.is_packed:
             return [
                 self._one_op(op, i, rows_a, rows_b, rows_dest,
-                             word_bits, key_bytes, lane_bits)
+                             word_bits, key_bytes, lane_bits, elem_bits)
                 for i in range(len(rows_a))
             ]
         for row in rows_a:
@@ -405,10 +536,31 @@ class ComputeSubarray:
             for _ in rows_a:
                 self._account(op)
             return [int(m).to_bytes(nbytes, "little") for m in masks]
+        if op in (SubarrayOp.ADD, SubarrayOp.MUL):
+            if elem_bits is None:
+                raise ISAError(f"batched {op} needs an element width")
+            self._check_elem_width(elem_bits)
+            out = arith_rows(op, a, b, elem_bits)
+            if rows_dest is not None:
+                self.cells.write_rows(rows_dest, out)
+            steps = arith_steps(op, elem_bits)
+            for _ in rows_a:
+                self._account(op, steps=steps)
+            return [row.tobytes() for row in out]
+        if op == SubarrayOp.REDUCE:
+            if elem_bits is None:
+                raise ISAError("batched reduce needs an element width")
+            self._check_elem_width(elem_bits)
+            sums = reduce_rows(a, elem_bits)
+            steps = arith_steps(op, elem_bits, self.cols // elem_bits)
+            for _ in rows_a:
+                self._account(op, steps=steps)
+            return [int(s) for s in sums]
         raise ISAError(f"unknown batched sub-array operation {op!r}")
 
     def _one_op(self, op: str, i: int, rows_a, rows_b, rows_dest,
-                word_bits: int, key_bytes: int, lane_bits: int | None):
+                word_bits: int, key_bytes: int, lane_bits: int | None,
+                elem_bits: int | None = None):
         """One batch element via the per-row entry points (circuit path)."""
         a = rows_a[i]
         b = rows_b[i] if rows_b is not None else None
@@ -429,6 +581,12 @@ class ComputeSubarray:
             return self.op_search(a, b, key_bytes)
         if op == SubarrayOp.CLMUL:
             return self.op_clmul(a, b, lane_bits)
+        if op == SubarrayOp.ADD:
+            return self.op_add(a, b, dest=dest, elem_bits=elem_bits or 8)
+        if op == SubarrayOp.MUL:
+            return self.op_mul(a, b, dest=dest, elem_bits=elem_bits or 8)
+        if op == SubarrayOp.REDUCE:
+            return self.op_reduce(a, elem_bits=elem_bits or 8)
         raise ISAError(f"unknown batched sub-array operation {op!r}")
 
     # -- helpers ------------------------------------------------------------
@@ -447,5 +605,9 @@ class ComputeSubarray:
             self.cells.data[dest] = packed
         return packed.tobytes()
 
-    def _account(self, op: str) -> None:
-        self.stats.record(op, self.timing.op_energy(op), self.timing.op_delay(op))
+    def _account(self, op: str, steps: int = 1) -> None:
+        """Record one operation; ``steps`` scales the per-step cost of the
+        bit-serial arithmetic ops (1 for every single-step operation)."""
+        self.stats.record(
+            op, steps * self.timing.op_energy(op), steps * self.timing.op_delay(op)
+        )

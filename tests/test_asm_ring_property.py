@@ -34,6 +34,13 @@ def instructions(draw) -> CCInstruction:
             size=size, lane_bits=draw(st.sampled_from([64, 128, 256])),
             broadcast_src2=draw(st.booleans()),
         )
+    if opcode is Opcode.REDUCE:
+        return CCInstruction(opcode, src1=src1, size=size,
+                             elem_bits=draw(st.sampled_from([8, 16, 32])))
+    if opcode in (Opcode.ADD, Opcode.MUL):
+        return CCInstruction(opcode, src1=src1, src2=draw(addr_st),
+                             dest=draw(addr_st), size=size,
+                             elem_bits=draw(st.sampled_from([8, 16, 32])))
     return CCInstruction(opcode, src1=src1, src2=draw(addr_st),
                          dest=draw(addr_st), size=size)
 

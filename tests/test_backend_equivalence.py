@@ -61,7 +61,7 @@ def build_plan(seed, steps=50):
     plan = []
     for _ in range(steps):
         kind = ["and", "or", "xor", "not", "copy", "buz", "cmp", "search",
-                "clmul", "write"][int(rng.integers(0, 10))]
+                "clmul", "write", "add", "mul", "reduce"][int(rng.integers(0, 13))]
         # Block-aligned offsets into a two-page region: often misaligned
         # relative to the page, sometimes spanning the page boundary.
         off = int(rng.integers(0, PAGE_SIZE // BLOCK_SIZE)) * BLOCK_SIZE
@@ -72,11 +72,16 @@ def build_plan(seed, steps=50):
             size = min(size, CMP_MAX_BYTES)
         elif kind == "search":
             size = min(size, SEARCH_MAX_BYTES)
+        elif kind == "mul":
+            # Bit-serial multiply is the slowest bit-exact op; keep the
+            # random-stream harness inside the tier-1 time budget.
+            size = min(size, 4 * BLOCK_SIZE)
         plan.append({
             "kind": kind,
             "off": off,
             "size": size,
             "lane_bits": int(rng.choice(CLMUL_LANES)),
+            "elem_bits": int(rng.choice([8, 16, 32])),
             "data": rng.integers(0, 256, 512, dtype=np.uint8).tobytes(),
         })
     return plan
@@ -109,9 +114,15 @@ def run_plan(m, plan):
             "search": lambda: cc_ops.cc_search(sa, key, size),
             "clmul": lambda: cc_ops.cc_clmul(sa, sb, sc, size,
                                              lane_bits=step["lane_bits"]),
+            "add": lambda: cc_ops.cc_add(sa, sb, sc, size,
+                                         elem_bits=step["elem_bits"]),
+            "mul": lambda: cc_ops.cc_mul(sa, sb, sc, size,
+                                         elem_bits=step["elem_bits"]),
+            "reduce": lambda: cc_ops.cc_reduce(sa, size,
+                                               elem_bits=step["elem_bits"]),
         }[kind]()
         res = m.cc(instr)
-        dest = None if kind in ("cmp", "search") else sc
+        dest = None if kind in ("cmp", "search", "reduce") else sc
         outcomes.append(outcome(m, res, dest, size))
     return outcomes, (a, b, c)
 
@@ -275,3 +286,45 @@ class TestOpcodeProperties:
                 assert res.pieces >= 2
             out[be] = outcome(m, res, c + off, size)
         assert out["bitexact"] == out["packed"]
+
+
+class TestArithProperties:
+    """Bit-serial arithmetic agrees across backends AND with numpy's
+    fixed-width unsigned integer semantics (wrap-around modulo 2^w)."""
+
+    @PROP_SETTINGS
+    @given(op=st.sampled_from(["add", "mul"]), off=offsets_st,
+           blocks=st.integers(1, 4), seed=payload_st,
+           elem_bits=st.sampled_from([8, 16, 32]))
+    def test_add_mul_match_numpy(self, op, off, blocks, seed, elem_bits):
+        size = blocks * BLOCK_SIZE
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            instr = (cc_ops.cc_add if op == "add" else cc_ops.cc_mul)(
+                a + off, b + off, c + off, size, elem_bits=elem_bits)
+            out[be] = outcome(m, m.cc(instr), c + off, size)
+        assert out["bitexact"] == out["packed"]
+        dt = np.dtype(f"<u{elem_bits // 8}")
+        ea = np.frombuffer(_payload(seed, REGION)[off:off + size], dtype=dt)
+        eb = np.frombuffer(_payload(seed + 1, REGION)[off:off + size], dtype=dt)
+        expect = (ea + eb) if op == "add" else (ea * eb)  # wraps mod 2^w
+        assert out["packed"][-1] == expect.tobytes()
+
+    @PROP_SETTINGS
+    @given(off=offsets_st, blocks=st.integers(1, 9), seed=payload_st,
+           elem_bits=st.sampled_from([8, 16, 32]))
+    def test_reduce_matches_numpy(self, off, blocks, seed, elem_bits):
+        size = blocks * BLOCK_SIZE
+        machines, layout = _pair_with_data(seed)
+        out = {}
+        for be, m in machines.items():
+            a, b, c, _ = layout[be]
+            res = m.cc(cc_ops.cc_reduce(a + off, size, elem_bits=elem_bits))
+            out[be] = outcome(m, res)
+        assert out["bitexact"] == out["packed"]
+        dt = np.dtype(f"<u{elem_bits // 8}")
+        ea = np.frombuffer(_payload(seed, REGION)[off:off + size], dtype=dt)
+        expect = int(ea.astype(np.uint64).sum(dtype=np.uint64))
+        assert out["packed"][0] == expect % (1 << 64)

@@ -1,0 +1,113 @@
+"""Documentation-consistency checks (`repro.docscheck`).
+
+The heavyweight half of the docscheck — executing every runnable fenced
+example, including full benchmark CLI runs — lives in the dedicated CI
+job (`python -m repro docscheck`). This tier-1 module pins the cheap
+structural guarantees: the generated ISA table cannot drift from the
+implementation, internal cross-links resolve, the marker/fence parser
+behaves, and the fast examples actually execute.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import generate_isa_table, run_docscheck
+from repro.core.isa import ARITH_ELEM_BITS, Opcode
+from repro.docscheck import (
+    ISA_BEGIN,
+    ISA_END,
+    Example,
+    check_crosslinks,
+    check_isa_table,
+    extract_examples,
+    run_example,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestGeneratedIsaTable:
+    def test_generator_covers_every_opcode(self):
+        table = generate_isa_table()
+        for op in Opcode:
+            base = f"cc_{op.name.lower()}"
+            assert base in table, f"{base} missing from the generated table"
+        # The arithmetic tier advertises its width suffixes.
+        for name in ("cc_addW", "cc_mulW", "cc_reduceW"):
+            assert name in table
+        assert "8/16/32" in table  # ARITH_ELEM_BITS surfaced in Limits
+        assert set(ARITH_ELEM_BITS) == {8, 16, 32}
+
+    def test_committed_table_matches_generator(self):
+        assert check_isa_table(REPO) == []
+
+    def test_committed_table_sits_between_markers(self):
+        text = (REPO / "docs" / "isa.md").read_text(encoding="utf-8")
+        begin, end = text.index(ISA_BEGIN), text.index(ISA_END)
+        assert begin < end
+        committed = text[begin + len(ISA_BEGIN):end].strip()
+        assert committed == generate_isa_table().strip()
+
+    def test_drift_is_detected(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        stale = f"{ISA_BEGIN}\n| stale |\n{ISA_END}\n"
+        (tmp_path / "docs" / "isa.md").write_text(stale, encoding="utf-8")
+        errors = check_isa_table(tmp_path)
+        assert errors and "drift" in errors[0]
+
+
+class TestCrosslinks:
+    def test_repo_docs_have_no_broken_links(self):
+        assert check_crosslinks(REPO) == []
+
+    def test_broken_link_is_reported(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "isa.md").write_text(
+            "see [gone](missing.md) and `src/repro/nope.py`\n", encoding="utf-8"
+        )
+        errors = check_crosslinks(tmp_path)
+        joined = "\n".join(errors)
+        assert "missing.md" in joined
+        assert "src/repro/nope.py" in joined
+
+
+class TestExampleExtraction:
+    def test_markers_attach_to_next_fence(self, tmp_path):
+        doc = tmp_path / "sample.md"
+        doc.write_text(
+            "intro\n\n"
+            "<!-- docs-check: skip -->\n"
+            "```bash\nrepro serve\n```\n\n"
+            "<!-- docs-check: expect hello -->\n"
+            "```python\nprint('hello')\n```\n\n"
+            "prose resets markers\n\n"
+            "<!-- docs-check: expect orphaned -->\n"
+            "more prose\n\n"
+            "```python\nprint('plain')\n```\n",
+            encoding="utf-8",
+        )
+        examples = extract_examples(doc)
+        assert [e.lang for e in examples] == ["bash", "python", "python"]
+        assert examples[0].skip and not examples[0].expects
+        assert examples[1].expects == ["hello"]
+        assert not examples[2].skip and examples[2].expects == []
+
+    def test_isa_md_round_trip_example_runs(self):
+        examples = [e for e in extract_examples(REPO / "docs" / "isa.md")
+                    if e.lang == "python" and not e.skip]
+        assert examples, "docs/isa.md lost its checked asm example"
+        for example in examples:
+            out = run_example(example)
+            for expect in example.expects:
+                assert expect in out, f"{example.label}: missing {expect!r}"
+
+    def test_python_example_failure_propagates(self, tmp_path):
+        bad = Example(tmp_path / "x.md", 1, "python", "raise ValueError('boom')")
+        with pytest.raises(ValueError):
+            run_example(bad)
+
+
+def test_structural_docscheck_is_clean():
+    """The examples=False subset must always hold in tier 1."""
+    assert run_docscheck(REPO, examples=False) == []

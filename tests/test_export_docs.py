@@ -77,6 +77,7 @@ class TestDocumentationConsistency:
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/isa.md", "docs/modeling.md",
         "docs/api.md", "docs/profiling.md", "docs/benchmarks.md",
+        "docs/neural_cache.md", "docs/faults.md", "docs/serving.md",
         "benchmarks/README.md",
     ])
     def test_referenced_files_exist(self, doc_name):

@@ -184,7 +184,7 @@ class TestTimingAnnotation:
     def test_unknown_op_rejected(self):
         t = SubarrayTiming()
         with pytest.raises(ISAError):
-            t.op_delay("mul")
+            t.op_delay("frobnicate")
 
     def test_energy_accumulates(self, sub):
         sub.write_block(0, bytes(BLOCK))
