@@ -19,12 +19,14 @@ from __future__ import annotations
 
 # -- machine, configuration, ISA -----------------------------------------------------
 from .alloc import Arena, SuperpageArena
-from .apps import bitmap_db, bmm, qdnn, stringmatch, textgen, wordcount
+from .apps import bitmap_db, bmm, qdnn, streambw, stringmatch, textgen, wordcount
 from .apps.checkpoint import run_checkpoint
 from .apps.common import AppResult, fresh_machine
 from .apps.splash import PROFILES, SplashProfile
+from .apps.streambw import run_streambw
 from .asm import assemble, format_instruction, parse
 from .bench.runner import Point, PointRunner
+from .bench.streambw import StreamBWConfig, run_streambw_sweep
 from .compiler import ArrayRef, VectorCompiler, VectorPlan, compile_and_run
 from .config_io import (
     config_digest,
@@ -47,6 +49,7 @@ from .core.isa import ARITH_ELEM_BITS, CCInstruction, Opcode
 from .core.scrub import ScrubService
 from .core.transpose import TransposeUnit
 from .core.stream import CCInstructionStream, CCOccupancyTimeline, StreamResult
+from .cpu.multicore import MulticoreResult, MulticoreRunner
 from .cpu.program import Instr, InstrKind, Program
 from .errors import (
     ActivationLimitError,
@@ -107,6 +110,8 @@ from .params import (
     MachineConfig,
     MemoryConfig,
     RingConfig,
+    TopologyConfig,
+    multi_cluster,
     sandybridge_8core,
     small_test_machine,
 )
@@ -123,6 +128,8 @@ __all__ = [
     "CoreConfig",
     "MemoryConfig",
     "RingConfig",
+    "TopologyConfig",
+    "multi_cluster",
     "sandybridge_8core",
     "small_test_machine",
     "BACKENDS",
@@ -147,6 +154,8 @@ __all__ = [
     "CCInstructionStream",
     "CCOccupancyTimeline",
     "StreamResult",
+    "MulticoreRunner",
+    "MulticoreResult",
     # configuration I/O
     "config_to_dict",
     "config_from_dict",
@@ -178,6 +187,8 @@ __all__ = [
     "run_loadgen",
     "SpeedConfig",
     "run_speed",
+    "StreamBWConfig",
+    "run_streambw_sweep",
     # faults & resilience
     "FAULT_KINDS",
     "FaultPlan",
@@ -217,9 +228,11 @@ __all__ = [
     "bitmap_db",
     "bmm",
     "qdnn",
+    "streambw",
     "stringmatch",
     "textgen",
     "wordcount",
+    "run_streambw",
     # errors
     "ReproError",
     "ConfigError",

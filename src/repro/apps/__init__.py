@@ -32,6 +32,7 @@ from .bitmap_db import run_bitmap_queries
 from .bmm import run_bmm
 from .checkpoint import run_checkpoint
 from .qdnn import run_qdnn
+from .streambw import run_streambw
 
 __all__ = [
     "AppResult",
@@ -41,6 +42,7 @@ __all__ = [
     "run_bmm",
     "run_checkpoint",
     "run_qdnn",
+    "run_streambw",
 ]
 
 
@@ -48,5 +50,5 @@ from .._compat import deprecate_deep_imports
 
 deprecate_deep_imports(__name__, (
     "bitmap_db", "bmm", "qdnn", "stringmatch", "textgen", "wordcount",
-    "checkpoint", "splash", "common",
+    "checkpoint", "splash", "common", "streambw",
 ))

@@ -47,6 +47,7 @@ WORKLOAD_SEEDS = {
     "bitmap-dataset": 104,
     "bitmap-query-mix": 105,
     "qdnn-network": 106,
+    "streambw-arrays": 107,
     "wordline-sweep": 2024,
 }
 
@@ -162,6 +163,42 @@ def app_point(app: str, scale: float = 1.0,
         "baseline_total_nj": comp.baseline_total_nj,
         "cc_total_nj": comp.cc_total_nj,
     }
+
+
+# -- STREAM bandwidth points (repro streambw) ------------------------------------------
+
+
+@point_function("streambw")
+def streambw_point(kernel: str, variant: str = "scalar",
+                   clusters: int = 1, cores_per_cluster: int = 2,
+                   words: int = 1024, placement: str = "hub",
+                   inter_hop_latency: int = 24,
+                   machine: dict[str, Any] | None = None,
+                   backend: str | None = None,
+                   seed: int = 107) -> dict[str, Any]:
+    """One verified STREAM bandwidth measurement on a multi-cluster
+    machine (:func:`repro.apps.streambw.run_streambw`).
+
+    ``machine`` optionally replaces the ``multi_cluster`` test machine
+    with an explicit config document; the ``clusters``/``cores_per_
+    cluster``/``inter_hop_latency`` knobs are ignored when it is given.
+    """
+    from ..apps.streambw import run_streambw
+    from ..machine import ComputeCacheMachine
+    from ..params import multi_cluster
+
+    if machine is not None:
+        config = config_from_dict(machine)
+    else:
+        config = multi_cluster(clusters, cores_per_cluster,
+                               inter_hop_latency=inter_hop_latency)
+    m = ComputeCacheMachine(config, backend=backend)
+    res = run_streambw(kernel, m, variant=variant, words=words,
+                       placement=placement, seed=seed)
+    doc = dict(res.stats)
+    doc["instructions"] = res.instructions
+    doc["dynamic_pj"] = dict(res.energy.pj)
+    return doc
 
 
 # -- checkpointing points (Figures 10 and 11) ------------------------------------------

@@ -32,6 +32,7 @@ from .cache import CacheLevel, Eviction
 from .directory import Directory
 from .memory import MainMemory
 from .ring import RingInterconnect
+from .topology import ClusterInterconnect
 
 L1 = "L1"
 L2 = "L2"
@@ -85,7 +86,8 @@ class CacheHierarchy:
         ]
         self.directory = [Directory(slice_id=s, tracer=self.tracer)
                           for s in range(config.l3_slices)]
-        self.ring = RingInterconnect(config.ring, self.ledger)
+        self.ring = ClusterInterconnect(config.ring, config.topology,
+                                        self.ledger, tracer=self.tracer)
         self.memory = MainMemory(
             config.memory_size,
             latency=config.memory.latency,
@@ -107,13 +109,23 @@ class CacheHierarchy:
     # -- NUCA home mapping ---------------------------------------------------------
 
     def home_slice(self, addr: int, core: int = 0) -> int:
-        """Slice homing ``addr``; first-touch page placement."""
+        """Slice homing ``addr``.
+
+        Policy comes from :class:`~repro.params.TopologyConfig`:
+        ``first-touch`` homes a page at the first toucher's ring stop
+        (Section IV-C); ``page`` interleaves pages statically across the
+        slices (``page % l3_slices`` - a gap- and overlap-free partition of
+        the address space).  An explicit :meth:`place_page` always wins.
+        """
         page = addr // PAGE_SIZE
-        if page not in self._page_to_slice:
-            self._page_to_slice[page] = RingInterconnect.core_stop(
-                core, self.config.l3_slices
-            )
-        return self._page_to_slice[page]
+        slice_id = self._page_to_slice.get(page)
+        if slice_id is None:
+            if self.config.topology.slice_interleave == "page":
+                slice_id = page % self.config.l3_slices
+            else:
+                slice_id = RingInterconnect.core_stop(core, self.config.l3_slices)
+            self._page_to_slice[page] = slice_id
+        return slice_id
 
     def place_page(self, addr: int, slice_id: int) -> None:
         """Explicitly place a page on a slice (OS page-coloring hook)."""

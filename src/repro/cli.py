@@ -22,6 +22,9 @@ Usage::
     python -m repro speed --instructions 32 --passes 4
                                      # sustained simulator throughput
                                      # -> BENCH_speed.json
+    python -m repro streambw --clusters 1,2,4
+                                     # STREAM NUMA bandwidth sweep
+                                     # -> BENCH_streambw.json
 
 The figure, sweep, and export commands take ``--jobs N`` (process-pool
 parallelism), ``--no-cache``, and ``--cache-dir`` — see
@@ -410,6 +413,33 @@ def _cmd_speed(args) -> None:
         sys.exit(1)
 
 
+def _cmd_streambw(args) -> None:
+    import json
+
+    from .bench.streambw import StreamBWConfig, run_streambw_sweep, summarize
+
+    backends = (args.backend,) if args.backend is not None else BACKENDS
+    cfg = StreamBWConfig(
+        kernels=tuple(args.kernels.split(",")),
+        clusters=tuple(int(c) for c in args.clusters.split(",")),
+        cores_per_cluster=args.cores_per_cluster,
+        words=args.words, placement=args.placement,
+        inter_hop_latency=args.inter_hop_latency,
+        seed=args.seed if args.seed is not None else 107,
+        check_words=args.check_words, backends=backends)
+    runner = _runner_from(args)
+    doc = run_streambw_sweep(cfg, runner=runner)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+    print(summarize(doc))
+    print(f"wrote {args.out}")
+    _finish_runner(runner, args)
+    if not doc["contract"]["passed"]:
+        for failure in doc["contract"]["failures"]:
+            print(f"contract failure: {failure}", file=sys.stderr)
+        sys.exit(1)
+
+
 def _cmd_faults(args) -> None:
     import json
 
@@ -646,6 +676,32 @@ def build_parser() -> argparse.ArgumentParser:
                          "vs --baseline (default 0.2)")
     pd.add_argument("--out", default="BENCH_speed.json")
     pd.set_defaults(fn=_cmd_speed)
+
+    pb = sub.add_parser(
+        "streambw",
+        help="STREAM NUMA bandwidth sweep over cluster counts -> "
+             "BENCH_streambw.json (see docs/topology.md)",
+        parents=[runner_args, sim_args])
+    pb.add_argument("--kernels", default="copy,scale,add,triad",
+                    metavar="K,K",
+                    help="comma-separated kernels (default: the four STREAM "
+                         "kernels; gather/scatter run scalar-only)")
+    pb.add_argument("--clusters", default="1,2,4", metavar="N,N",
+                    help="cluster counts to sweep (default 1,2,4)")
+    pb.add_argument("--cores-per-cluster", type=int, default=2,
+                    help="cores (= ring stops = L3 slices) per cluster")
+    pb.add_argument("--words", type=int, default=1024,
+                    help="uint32 elements per array per core (default 1024)")
+    pb.add_argument("--placement", choices=("hub", "local"), default="hub",
+                    help="page placement: hub homes every page on cluster 0 "
+                         "(NUMA stress); local homes pages core-locally")
+    pb.add_argument("--inter-hop-latency", type=int, default=24,
+                    help="cluster-ring hop latency in cycles (default 24)")
+    pb.add_argument("--check-words", type=int, default=256,
+                    help="array size for the flat-ring and cross-backend "
+                         "bit-identity checks (default 256)")
+    pb.add_argument("--out", default="BENCH_streambw.json")
+    pb.set_defaults(fn=_cmd_streambw)
 
     pf = sub.add_parser(
         "faults",

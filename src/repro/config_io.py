@@ -24,6 +24,7 @@ from .params import (
     MachineConfig,
     MemoryConfig,
     RingConfig,
+    TopologyConfig,
 )
 
 _LEVEL_FIELDS = ("name", "size", "ways", "banks", "bps_per_bank",
@@ -37,6 +38,8 @@ _MEMORY_FIELDS = ("latency", "energy_per_block", "bandwidth_blocks_per_cycle")
 _CC_FIELDS = ("inplace_latency", "nearplace_latency", "max_activated_wordlines",
               "max_operand_bytes", "cmp_search_max_bytes", "search_key_bytes",
               "pin_retry_limit", "area_overhead_fraction", "commands_per_cycle")
+_TOPOLOGY_FIELDS = ("clusters", "inter_hop_latency", "inter_link_width_bits",
+                    "inter_energy_per_hop_per_flit", "slice_interleave")
 
 
 def _dump(obj: Any, fields: tuple[str, ...]) -> dict[str, Any]:
@@ -51,8 +54,13 @@ def config_to_dict(config: MachineConfig) -> dict[str, Any]:
     ``event_buffer_capacity``) are deliberately *not* — they cannot change
     simulation results, so two configs differing only in tracing
     serialize (and hash, see :func:`config_digest`) identically.
+
+    ``topology`` appears in the document only when it differs from the
+    default flat machine, so every document (and digest) produced before
+    multi-cluster topologies existed remains byte-identical — and the
+    sweep runner's on-disk cache entries for flat configs stay valid.
     """
-    return {
+    doc = {
         "schema": "repro.machine-config/1",
         "backend": config.backend,
         "cores": config.cores,
@@ -68,6 +76,9 @@ def config_to_dict(config: MachineConfig) -> dict[str, Any]:
         "memory": _dump(config.memory, _MEMORY_FIELDS),
         "cc": _dump(config.cc, _CC_FIELDS),
     }
+    if config.topology != TopologyConfig():
+        doc["topology"] = _dump(config.topology, _TOPOLOGY_FIELDS)
+    return doc
 
 
 def config_from_dict(doc: dict[str, Any]) -> MachineConfig:
@@ -78,6 +89,11 @@ def config_from_dict(doc: dict[str, Any]) -> MachineConfig:
     extra: dict[str, Any] = {}
     if "backend" in doc:
         extra["backend"] = doc["backend"]
+    if "topology" in doc:
+        try:
+            extra["topology"] = TopologyConfig(**doc["topology"])
+        except TypeError as exc:
+            raise ConfigError(f"malformed topology section: {exc}") from None
     try:
         return MachineConfig(
             **extra,

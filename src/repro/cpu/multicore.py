@@ -30,8 +30,13 @@ class MulticoreResult:
 
     @property
     def makespan(self) -> float:
-        """Parallel-section completion time (slowest core)."""
-        return max(r.cycles for r in self.per_core.values())
+        """Parallel-section completion time (slowest core).
+
+        An empty parallel section (no programs) and all-empty programs
+        both complete in zero cycles - the aggregates below are guarded so
+        neither degenerate case divides by zero.
+        """
+        return max((r.cycles for r in self.per_core.values()), default=0.0)
 
     @property
     def total_instructions(self) -> int:
@@ -43,6 +48,19 @@ class MulticoreResult:
 
     def speedup_over(self, serial_cycles: float) -> float:
         return serial_cycles / self.makespan if self.makespan else 0.0
+
+    def cluster_makespans(self, clusters: int, cores_per_cluster: int) -> dict[int, float]:
+        """Slowest core per cluster (``core // cores_per_cluster``).
+
+        The per-cluster view of the parallel section on a multi-cluster
+        topology (:class:`~repro.params.TopologyConfig`); clusters that ran
+        no program report 0.0.
+        """
+        spans = {cluster: 0.0 for cluster in range(clusters)}
+        for core, result in self.per_core.items():
+            cluster = core // cores_per_cluster
+            spans[cluster] = max(spans[cluster], result.cycles)
+        return spans
 
 
 @dataclass

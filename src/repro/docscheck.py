@@ -70,6 +70,7 @@ DOC_FILES = (
     "docs/neural_cache.md",
     "docs/profiling.md",
     "docs/serving.md",
+    "docs/topology.md",
     "benchmarks/README.md",
 )
 

@@ -65,6 +65,9 @@ class TraceProfile:
     pin_losses: int
     key_replications: int
     dropped_events: int
+    topo_hops: dict[str, dict[str, float]] = field(default_factory=dict)
+    """Inter-cluster traffic per route label (``"c0->c1"``): message and
+    hop counts split by data/control.  Empty on flat (1-cluster) machines."""
 
     @property
     def attributed_cycles(self) -> float:
@@ -107,6 +110,7 @@ def build_profile(events: Iterable[Event],
     level_cycles: dict[str, float] = {}
     cache_counts: dict[str, dict[str, int]] = {}
     dir_counts: dict[str, int] = {}
+    topo_hops: dict[str, dict[str, float]] = {}
     pin_retries = pin_losses = key_replications = 0
 
     # Pass 1: per-instruction rows (the controller emits the completion
@@ -157,6 +161,10 @@ def build_profile(events: Iterable[Event],
         elif kind.startswith("htree."):
             table = cache_counts.setdefault(ev.level, {})
             _bump(table, kind.replace(".", "_") + "s")
+        elif kind == "topo.hop":
+            table = topo_hops.setdefault(ev.reason, {})
+            _bump(table, f"{ev.outcome}_messages")
+            _bump(table, f"{ev.outcome}_hops", ev.span)
         elif kind.startswith("dir."):
             _bump(dir_counts, kind.split(".", 1)[1])
 
@@ -178,6 +186,7 @@ def build_profile(events: Iterable[Event],
         pin_losses=pin_losses,
         key_replications=key_replications,
         dropped_events=dropped_events,
+        topo_hops=topo_hops,
     )
 
 
@@ -300,6 +309,19 @@ def format_profile(profile: TraceProfile) -> str:
         parts = ", ".join(f"{k}: {v:,}"
                           for k, v in sorted(profile.directory_counts.items()))
         out.append(f"  directory: {parts}")
+
+    if profile.topo_hops:
+        out.append("")
+        out.append("=== NUMA topology traffic (inter-cluster) ===")
+        for route in sorted(profile.topo_hops):
+            t = profile.topo_hops[route]
+            out.append(
+                f"  {route}: "
+                f"{int(t.get('data_messages', 0)):,} data / "
+                f"{int(t.get('control_messages', 0)):,} control messages, "
+                f"{t.get('data_hops', 0.0) + t.get('control_hops', 0.0):,.0f} "
+                f"cluster-ring flit-hop units"
+            )
 
     if profile.cc_instructions:
         out.append("")

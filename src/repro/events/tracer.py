@@ -58,6 +58,13 @@ Event kinds
 ``dir.revoke``      Directory sharer removal (``reason``: ``redundant``
                     for an idempotent duplicate delivery).
 ``dir.drop``        Directory entry dropped (L3 eviction).
+``topo.hop``        One interconnect message crossing a cluster boundary
+                    (multi-cluster topologies only; ``unit`` = source
+                    cluster, ``blocks`` = destination cluster, ``span`` =
+                    inter-cluster hops traversed, ``outcome``: ``data`` /
+                    ``control``, ``reason`` = ``c<src>->c<dst>`` route
+                    label).  A flat 1-cluster machine emits none, keeping
+                    its event stream identical to the pre-topology model.
 ``runner.point``    One sweep-runner point (``phase``: ``cache-hit``,
                     ``computed``, ``timeout``, ``retry``,
                     ``serial-fallback``, ``failed``; ``span`` =

@@ -152,6 +152,26 @@ class ComputeCacheMachine:
         return stream.execute(instrs, force_level=force_level,
                               force_nearplace=force_nearplace)
 
+    # -- topology (multi-cluster NUMA) --------------------------------------------------
+
+    @property
+    def topology(self):
+        """The machine's :class:`~repro.params.TopologyConfig`."""
+        return self.config.topology
+
+    def cluster_of_core(self, core: int) -> int:
+        """Cluster a core belongs to (cores partition like ring stops)."""
+        stop = core % self.config.ring.stops
+        return self.hierarchy.ring.cluster_of(stop)
+
+    def place_page(self, addr: int, slice_id: int) -> None:
+        """Home the page containing ``addr`` on an L3 slice (OS hook).
+
+        The NUMA placement lever: homing a working set on another
+        cluster's slices makes every miss pay inter-cluster hops.
+        """
+        self.hierarchy.place_page(addr, slice_id)
+
     # -- measurement -------------------------------------------------------------------
 
     def snapshot_energy(self) -> EnergyLedger:

@@ -178,6 +178,60 @@ class RingConfig:
 
 
 @dataclass(frozen=True)
+class TopologyConfig:
+    """Multi-cluster (NUMA) organization of cores and L3 slices.
+
+    The machine's ring stops are partitioned block-wise into ``clusters``
+    equal groups.  Stops inside a cluster talk over that cluster's local
+    ring (:class:`~repro.params.RingConfig` costs); traffic between
+    clusters is routed through each cluster's gateway stop (stop 0 of the
+    group) onto a second-level cluster ring whose hops are slower and more
+    expensive (``inter_hop_latency``, ``inter_energy_per_hop_per_flit``).
+
+    ``clusters=1`` (the default) is *exactly* today's flat machine: the
+    routing, latency, and energy models all reduce to the plain
+    bidirectional ring, bit-for-bit (pinned by
+    ``tests/test_topology_property.py``).
+
+    ``slice_interleave`` selects the L3 page-homing policy:
+
+    * ``"first-touch"`` (default, the paper's Section IV-C policy): a page
+      is homed on the NUCA slice at the first toucher's ring stop.
+    * ``"page"``: static address interleaving, ``slice = page % l3_slices``
+      - a partition of the physical address space with no overlap or gap.
+    """
+
+    clusters: int = 1
+    inter_hop_latency: int = 24
+    inter_link_width_bits: int = 256
+    inter_energy_per_hop_per_flit: float = 260.0
+    slice_interleave: str = "first-touch"
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ConfigError("topology needs at least one cluster")
+        if self.inter_hop_latency < 0:
+            raise ConfigError("inter-cluster hop latency cannot be negative")
+        if self.inter_energy_per_hop_per_flit < 0:
+            raise ConfigError("inter-cluster hop energy cannot be negative")
+        if (self.inter_link_width_bits <= 0
+                or (BLOCK_SIZE * 8) % self.inter_link_width_bits):
+            raise ConfigError(
+                f"inter-cluster link width {self.inter_link_width_bits} must "
+                f"divide a {BLOCK_SIZE * 8}-bit block"
+            )
+        if self.slice_interleave not in ("first-touch", "page"):
+            raise ConfigError(
+                f"unknown slice_interleave {self.slice_interleave!r}; "
+                "expected 'first-touch' or 'page'"
+            )
+
+    @property
+    def inter_flits_per_block(self) -> int:
+        return (BLOCK_SIZE * 8) // self.inter_link_width_bits
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """Off-chip memory model (Table IV)."""
 
@@ -251,6 +305,7 @@ class MachineConfig:
     )
     l3_slices: int = 8
     ring: RingConfig = field(default_factory=RingConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     cc: ComputeCacheConfig = field(default_factory=ComputeCacheConfig)
     memory_size: int = 64 * 1024 * 1024
@@ -269,6 +324,16 @@ class MachineConfig:
             raise ConfigError("memory_size must be a multiple of the page size")
         if self.l3_slices != self.ring.stops:
             raise ConfigError("one ring stop per L3 slice is assumed")
+        if self.ring.stops % self.topology.clusters:
+            raise ConfigError(
+                f"{self.ring.stops} ring stops do not divide into "
+                f"{self.topology.clusters} equal clusters"
+            )
+        if self.cores % self.topology.clusters:
+            raise ConfigError(
+                f"{self.cores} cores do not divide into "
+                f"{self.topology.clusters} equal clusters"
+            )
         if self.backend not in BACKENDS:
             raise ConfigError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
@@ -321,6 +386,44 @@ def small_test_machine(memory_size: int = 1024 * 1024) -> MachineConfig:
     )
 
 
+def multi_cluster(
+    clusters: int,
+    cores_per_cluster: int,
+    *,
+    full_size: bool = False,
+    inter_hop_latency: int = 24,
+    slice_interleave: str = "first-touch",
+    memory_size: int | None = None,
+) -> MachineConfig:
+    """A clustered (NUMA) machine: ``clusters`` x ``cores_per_cluster`` cores.
+
+    One ring stop (and one L3 slice) per core, stops partitioned into
+    ``clusters`` equal groups bridged by the inter-cluster ring (see
+    :class:`TopologyConfig`).  Cache geometry comes from
+    :func:`small_test_machine` (or Table IV with ``full_size=True``), so a
+    1-cluster instance of the same core count is the flat machine the
+    test-suite already pins.  Memory scales with the core count.
+    """
+    if clusters < 1 or cores_per_cluster < 1:
+        raise ConfigError("need at least one cluster and one core per cluster")
+    base = sandybridge_8core() if full_size else small_test_machine()
+    cores = clusters * cores_per_cluster
+    if memory_size is None:
+        memory_size = cores * (base.memory_size // base.cores)
+    return replace(
+        base,
+        cores=cores,
+        l3_slices=cores,
+        ring=replace(base.ring, stops=cores),
+        topology=TopologyConfig(
+            clusters=clusters,
+            inter_hop_latency=inter_hop_latency,
+            slice_interleave=slice_interleave,
+        ),
+        memory_size=memory_size,
+    )
+
+
 def validate_table3(config: MachineConfig) -> dict[str, int]:
     """Return the Table III min-address-bit constraint for each level."""
     return {
@@ -339,5 +442,6 @@ from ._compat import deprecate_deep_imports
 
 deprecate_deep_imports(__name__, (
     "MachineConfig", "CacheLevelConfig", "ComputeCacheConfig", "CoreConfig",
-    "MemoryConfig", "RingConfig", "sandybridge_8core", "small_test_machine",
+    "MemoryConfig", "RingConfig", "TopologyConfig", "sandybridge_8core",
+    "small_test_machine", "multi_cluster",
 ))

@@ -1,0 +1,140 @@
+"""STREAM bandwidth suite: numpy-exact results on both backends, the
+analytic traffic model, and the sweep's identity checks."""
+
+import pytest
+
+from repro.apps.streambw import (
+    KERNELS,
+    STREAM_KERNELS,
+    run_streambw,
+    stream_traffic_bytes,
+)
+from repro.bench.streambw import (
+    StreamBWConfig,
+    backend_equivalence_check,
+    flat_equivalence_check,
+    scalar_roofline,
+)
+from repro.errors import AddressError
+from repro.machine import ComputeCacheMachine
+from repro.params import BACKENDS, multi_cluster
+
+WORDS = 256  # uint32 elements per array per core (16 blocks)
+
+
+def _machine(clusters=2, cores_per_cluster=2, **kwargs):
+    return ComputeCacheMachine(multi_cluster(clusters, cores_per_cluster),
+                               **kwargs)
+
+
+class TestBitExactness:
+    """Every kernel, both variants, both backends — element-exact vs
+    numpy (``run_streambw`` raises on any mismatch) and bit-identical
+    numbers across backends."""
+
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    @pytest.mark.parametrize("variant", ["scalar", "cc"])
+    def test_backends_verified_and_bit_identical(self, kernel, variant):
+        runs = {}
+        for backend in BACKENDS:
+            res = run_streambw(kernel, _machine(backend=backend),
+                               variant=variant, words=WORDS,
+                               placement="hub")
+            assert res.stats["verified"]
+            assert res.stats["bytes_per_cycle"] > 0
+            runs[backend] = (res.cycles, res.instructions,
+                             dict(res.energy.pj))
+        values = list(runs.values())
+        assert all(v == values[0] for v in values[1:]), runs
+
+    @pytest.mark.parametrize("kernel", ["gather", "scatter"])
+    def test_irregular_kernels_scalar_exact(self, kernel):
+        res = run_streambw(kernel, _machine(), variant="scalar",
+                           words=WORDS, placement="local")
+        assert res.stats["verified"]
+        assert res.cycles > 0
+
+    def test_local_placement_also_exact(self):
+        res = run_streambw("triad", _machine(), variant="cc",
+                           words=WORDS, placement="local")
+        assert res.stats["verified"]
+
+
+class TestTrafficModel:
+    """Measured bytes moved == the analytic per-kernel traffic model."""
+
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    def test_l1_fill_bytes_match_model(self, kernel):
+        machine = _machine(trace_events=True)
+        res = run_streambw(kernel, machine, variant="scalar", words=WORDS,
+                           placement="hub")
+        expected = stream_traffic_bytes(kernel, WORDS) * machine.config.cores
+        assert res.stats["l1_fill_bytes"] == expected
+        assert res.stats["bytes"] == expected
+
+    def test_factor_table(self):
+        assert stream_traffic_bytes("copy", WORDS) == 2 * 4 * WORDS
+        assert stream_traffic_bytes("scale", WORDS) == 2 * 4 * WORDS
+        assert stream_traffic_bytes("add", WORDS) == 3 * 4 * WORDS
+        assert stream_traffic_bytes("triad", WORDS) == 3 * 4 * WORDS
+        with pytest.raises(ValueError):
+            stream_traffic_bytes("daxpy", WORDS)
+
+    def test_hub_placement_crosses_clusters(self):
+        """Remote homes produce topo.hop traffic on a 2-cluster machine;
+        a 1-cluster machine produces none (event-stream compatibility)."""
+        multi = _machine(trace_events=True)
+        res = run_streambw("copy", multi, variant="scalar", words=WORDS,
+                           placement="hub")
+        assert res.stats["topo_hops"] > 0
+        assert multi.tracer.by_kind("topo.hop")
+
+        flat = _machine(clusters=1, trace_events=True)
+        res = run_streambw("copy", flat, variant="scalar", words=WORDS,
+                           placement="hub")
+        assert res.stats["topo_hops"] == 0
+        assert not flat.tracer.by_kind("topo.hop")
+
+
+class TestRooflineAndChecks:
+    @pytest.mark.parametrize("kernel", STREAM_KERNELS)
+    @pytest.mark.parametrize("clusters", [1, 2])
+    def test_measured_scalar_below_roofline(self, kernel, clusters):
+        config = multi_cluster(clusters, 2)
+        res = run_streambw(kernel, ComputeCacheMachine(config),
+                           variant="scalar", words=WORDS, placement="hub")
+        assert (res.stats["bytes_per_cycle"]
+                <= scalar_roofline(config, kernel, "hub"))
+
+    def test_flat_equivalence(self):
+        check = flat_equivalence_check(StreamBWConfig(check_words=128))
+        assert check["identical"], check
+
+    def test_backend_equivalence(self):
+        check = backend_equivalence_check(
+            StreamBWConfig(clusters=(2,), check_words=128))
+        assert check["identical"], check
+
+
+class TestValidation:
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            run_streambw("daxpy", _machine())
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            run_streambw("copy", _machine(), variant="vector")
+
+    @pytest.mark.parametrize("kernel", ["gather", "scatter"])
+    def test_irregular_kernels_have_no_cc_lowering(self, kernel):
+        assert kernel in KERNELS
+        with pytest.raises(ValueError):
+            run_streambw(kernel, _machine(), variant="cc")
+
+    def test_words_must_be_block_multiple(self):
+        with pytest.raises(AddressError):
+            run_streambw("copy", _machine(), words=10)
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            run_streambw("copy", _machine(), placement="spread")
