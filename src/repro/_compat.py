@@ -61,3 +61,14 @@ def deprecate_deep_imports(module_name: str, symbols) -> None:
     module = sys.modules[module_name]
     module.__deprecated_symbols__ = frozenset(symbols)
     module.__class__ = _DeprecatedAttrModule
+
+
+def warn_deprecated_command(old: str, new: str) -> None:
+    """The CLI's counterpart to the deep-import shim: a legacy subcommand
+    (``repro speed``) that moved behind the unified dispatcher warns and
+    keeps working.  Also printed to stderr so shell users — who never see
+    Python warnings filtered into a log — get the migration note too."""
+    message = (f"'repro {old}' is deprecated; use 'repro {new}' "
+               f"(same flags; see docs/api.md)")
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    print(f"note: {message}", file=sys.stderr)

@@ -19,14 +19,35 @@ from __future__ import annotations
 
 # -- machine, configuration, ISA -----------------------------------------------------
 from .alloc import Arena, SuperpageArena
-from .apps import bitmap_db, bmm, qdnn, streambw, stringmatch, textgen, wordcount
+from .apps import (
+    bitmap_db,
+    bmm,
+    crypto,
+    qdnn,
+    streambw,
+    stringmatch,
+    textgen,
+    wordcount,
+)
 from .apps.checkpoint import run_checkpoint
 from .apps.common import AppResult, fresh_machine
+from .apps.crypto import (
+    CryptoConfig,
+    crc_fold,
+    crypto_plan,
+    ghash,
+    ntt_polymul,
+    run_crypto,
+    run_crypto_campaign,
+)
 from .apps.splash import PROFILES, SplashProfile
 from .apps.streambw import run_streambw
 from .asm import assemble, format_instruction, parse
+from .bench.crypto import CryptoSweepConfig, run_crypto_sweep
+from .bench.report import bench_document, bench_provenance, write_bench
 from .bench.runner import Point, PointRunner
 from .bench.streambw import StreamBWConfig, run_streambw_sweep
+from .bench.suites import BenchSuite, bench_suites
 from .compiler import ArrayRef, VectorCompiler, VectorPlan, compile_and_run
 from .config_io import (
     config_digest,
@@ -174,9 +195,14 @@ __all__ = [
     "profile_trace",
     "chrome_trace",
     "write_chrome_trace",
-    # sweep runner
+    # sweep runner & suite registry
     "PointRunner",
     "Point",
+    "BenchSuite",
+    "bench_suites",
+    "bench_document",
+    "bench_provenance",
+    "write_bench",
     # simulation service & load generator
     "JobService",
     "Job",
@@ -227,12 +253,23 @@ __all__ = [
     "SplashProfile",
     "bitmap_db",
     "bmm",
+    "crypto",
     "qdnn",
     "streambw",
     "stringmatch",
     "textgen",
     "wordcount",
     "run_streambw",
+    # crypto suite
+    "CryptoConfig",
+    "CryptoSweepConfig",
+    "ghash",
+    "crc_fold",
+    "ntt_polymul",
+    "run_crypto",
+    "run_crypto_campaign",
+    "run_crypto_sweep",
+    "crypto_plan",
     # errors
     "ReproError",
     "ConfigError",

@@ -11,8 +11,12 @@ Every application is implemented twice over the same machine model:
   ``cc_copy`` copy-on-write checkpointing).
 
 Beyond the paper's four, :mod:`~repro.apps.qdnn` adds the Neural Cache
-follow-on workload: quantized DNN inference lowered to the bit-serial
-arithmetic tier (``cc_mul`` / ``cc_add`` / ``cc_reduce``).
+follow-on workload (quantized DNN inference lowered to the bit-serial
+arithmetic tier: ``cc_mul`` / ``cc_add`` / ``cc_reduce``) and
+:mod:`~repro.apps.crypto` adds the cryptographic suite — GHASH/GCM
+authentication, CRC32/CRC64 folding, and a negacyclic NTT-style
+polynomial multiply — lowered onto ``cc_clmul`` broadcast folds and the
+arithmetic tier, with every output verified against standard references.
 
 Both versions run for real - outputs are verified against pure-Python/numpy
 references - while the machine accounts cycles and per-component energy.
@@ -31,6 +35,7 @@ from .stringmatch import run_stringmatch
 from .bitmap_db import run_bitmap_queries
 from .bmm import run_bmm
 from .checkpoint import run_checkpoint
+from .crypto import run_crypto
 from .qdnn import run_qdnn
 from .streambw import run_streambw
 
@@ -41,6 +46,7 @@ __all__ = [
     "run_bitmap_queries",
     "run_bmm",
     "run_checkpoint",
+    "run_crypto",
     "run_qdnn",
     "run_streambw",
 ]
@@ -49,6 +55,6 @@ __all__ = [
 from .._compat import deprecate_deep_imports
 
 deprecate_deep_imports(__name__, (
-    "bitmap_db", "bmm", "qdnn", "stringmatch", "textgen", "wordcount",
-    "checkpoint", "splash", "common", "streambw",
+    "bitmap_db", "bmm", "crypto", "qdnn", "stringmatch", "textgen",
+    "wordcount", "checkpoint", "splash", "common", "streambw",
 ))

@@ -26,7 +26,17 @@ registered in :mod:`repro.bench.points`.  See ``docs/benchmarks.md``
 for the workflow (``--jobs``, ``--no-cache``, cache-key semantics).
 """
 
-from . import appbench, checkpointbench, microbench, points, report, runner, sweeps
+from . import (
+    appbench,
+    checkpointbench,
+    crypto,
+    microbench,
+    points,
+    report,
+    runner,
+    suites,
+    sweeps,
+)
 
-__all__ = ["appbench", "checkpointbench", "microbench", "points", "report",
-           "runner", "sweeps"]
+__all__ = ["appbench", "checkpointbench", "crypto", "microbench", "points",
+           "report", "runner", "suites", "sweeps"]

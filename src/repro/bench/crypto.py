@@ -1,0 +1,245 @@
+"""Crypto workload sweep: ``repro bench crypto`` -> ``BENCH_crypto.json``.
+
+One sweep covers the paper-relevant story for the crypto suite
+(:mod:`repro.apps.crypto`):
+
+* every kernel (GHASH, CRC32, CRC64, negacyclic NTT multiply) in both
+  the CC lowering and the scalar-CPU baseline on the Table IV machine,
+  reduced to latency/energy ratios (schema ``repro.crypto/1``);
+* a packed-vs-bitexact output-digest identity check per kernel (the
+  same probe the differential harness uses, at check scale);
+* the silent-error resilience section: every kernel replayed under the
+  PR 4 machine-fault campaign (SRAM strikes, pin steals, fetch
+  timeouts, directory faults) via
+  :func:`repro.apps.crypto.run_crypto_campaign`, reporting detected vs
+  silent corruption with the kernel's own integrity oracle
+  (tag/checksum/recomputation) as the last line of defense.
+
+The ``contract`` section is the CI gate: bit-exact outputs everywhere,
+zero silent corruptions, CC wins latency *and* total energy on the
+GF(2) kernels, and the NTT — which trades a bounded bit-serial energy
+premium for a large latency win, like the qdnn suite — clears a
+speedup floor while staying above a total-energy floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..apps.crypto import CRYPTO_KERNELS, CryptoConfig, run_crypto_campaign
+from ..errors import ReproError
+from ..params import BACKENDS
+from .microbench import _resolve_runner
+from .report import bench_document
+from .runner import Point
+
+CRYPTO_SCHEMA = "repro.crypto/1"
+
+#: GF(2)-linear kernels where the clmul fold must beat the scalar
+#: baseline on both axes (the paper's bulk-bitwise sweet spot).
+GF2_KERNELS = ("ghash", "crc32", "crc64")
+
+
+@dataclass(frozen=True)
+class CryptoSweepConfig:
+    """Grid + contract knobs for the crypto sweep."""
+
+    kernels: tuple[str, ...] = CRYPTO_KERNELS
+    ghash_blocks: int = 64
+    crc_bytes: int = 1024
+    ntt_n: int = 128
+    ntt_q: int = 8192
+    seed: int = 108
+    backends: tuple[str, ...] = BACKENDS
+    #: Smaller sizes for the cross-backend identity probe (the bitexact
+    #: backend simulates bit-serial loops; full scale would dominate the
+    #: sweep's wall-clock without changing the verdict).
+    check_ghash_blocks: int = 8
+    check_crc_bytes: int = 128
+    check_ntt_n: int = 32
+    #: Fault campaign: plan seed and CC-instruction pulse period.
+    fault_seed: int = 0
+    pulse_every: int = 8
+    run_faults: bool = True
+    #: Contract floors.  GF(2) kernels must win outright; the NTT is
+    #: latency-led with a bounded bit-serial energy premium (same
+    #: narrative the qdnn suite pins in benchmarks/test_neural_cache.py).
+    gf2_speedup_floor: float = 1.0
+    gf2_energy_floor: float = 1.0
+    ntt_speedup_floor: float = 2.0
+    ntt_energy_floor: float = 0.25
+
+
+def crypto_point_spec(kernel: str, variant: str, cfg: CryptoSweepConfig,
+                      backend: str | None = None,
+                      check_scale: bool = False) -> Point:
+    """The :class:`~repro.bench.runner.Point` for one sweep cell."""
+    kwargs: dict[str, Any] = {
+        "kernel": kernel,
+        "variant": variant,
+        "ghash_blocks": (cfg.check_ghash_blocks if check_scale
+                         else cfg.ghash_blocks),
+        "crc_bytes": cfg.check_crc_bytes if check_scale else cfg.crc_bytes,
+        "ntt_n": cfg.check_ntt_n if check_scale else cfg.ntt_n,
+        "ntt_q": cfg.ntt_q,
+        "seed": cfg.seed,
+    }
+    if backend is not None:
+        kwargs["backend"] = backend
+    return Point(fn="crypto", kwargs=kwargs,
+                 label=f"crypto/{kernel}/{variant}"
+                       + (f"@{backend}" if backend else ""))
+
+
+def backend_identity_check(cfg: CryptoSweepConfig,
+                           runner=None) -> dict[str, Any]:
+    """Per-kernel output digests of the CC lowering on every backend —
+    they must agree bit-for-bit (check scale)."""
+    runner = _resolve_runner(runner)
+    cells = [(kernel, backend) for kernel in cfg.kernels
+             for backend in cfg.backends]
+    docs = runner.run([crypto_point_spec(kernel, "cc", cfg, backend=backend,
+                                         check_scale=True)
+                       for kernel, backend in cells])
+    digests: dict[str, dict[str, str]] = {}
+    for (kernel, backend), doc in zip(cells, docs):
+        digests.setdefault(kernel, {})[backend] = doc["output_digest"]
+    return {
+        "backends": list(cfg.backends),
+        "digests": digests,
+        "identical": all(len(set(per.values())) == 1
+                         for per in digests.values()),
+    }
+
+
+def _ratio(numer: float, denom: float) -> float:
+    return numer / denom if denom else 0.0
+
+
+def run_crypto_sweep(cfg: CryptoSweepConfig | None = None,
+                     runner=None,
+                     backend: str | None = None) -> dict[str, Any]:
+    """Run the sweep; returns the ``BENCH_crypto.json`` document."""
+    cfg = cfg or CryptoSweepConfig()
+    for kernel in cfg.kernels:
+        if kernel not in CRYPTO_KERNELS:
+            raise ReproError(f"unknown crypto kernel {kernel!r} "
+                             f"(expected one of {CRYPTO_KERNELS})")
+    runner = _resolve_runner(runner)
+
+    cells = [(kernel, variant) for kernel in cfg.kernels
+             for variant in ("cc", "scalar")]
+    docs = runner.run([crypto_point_spec(kernel, variant, cfg,
+                                         backend=backend)
+                       for kernel, variant in cells])
+    by_cell = {cell: doc for cell, doc in zip(cells, docs)}
+
+    kernels_doc: dict[str, Any] = {}
+    for kernel in cfg.kernels:
+        cc = by_cell[(kernel, "cc")]
+        scalar = by_cell[(kernel, "scalar")]
+        dyn_cc = sum(cc["dynamic_pj"].values())
+        dyn_scalar = sum(scalar["dynamic_pj"].values())
+        kernels_doc[kernel] = {
+            "cc": cc,
+            "scalar": scalar,
+            "speedup": _ratio(scalar["cycles"], cc["cycles"]),
+            "instruction_reduction":
+                1 - _ratio(cc["instructions"], scalar["instructions"]),
+            "dynamic_energy_ratio": _ratio(dyn_scalar, dyn_cc),
+            "total_energy_ratio": _ratio(scalar["total_nj"], cc["total_nj"]),
+            "outputs_match": bool(cc["matches_reference"]
+                                  and scalar["matches_reference"]),
+        }
+
+    backends_check = backend_identity_check(cfg, runner=runner)
+
+    faults_doc: dict[str, Any] = {}
+    if cfg.run_faults:
+        from ..apps.crypto import crypto_plan
+
+        plan = crypto_plan(cfg.fault_seed)
+        for kernel in cfg.kernels:
+            faults_doc[kernel] = run_crypto_campaign(
+                kernel, plan=plan, backend=backend,
+                pulse_every=cfg.pulse_every)
+
+    failures: list[str] = []
+    for kernel, entry in kernels_doc.items():
+        if not entry["outputs_match"]:
+            failures.append(f"{kernel}: output diverged from the reference")
+        speedup_floor = (cfg.ntt_speedup_floor if kernel == "ntt"
+                         else cfg.gf2_speedup_floor)
+        energy_floor = (cfg.ntt_energy_floor if kernel == "ntt"
+                        else cfg.gf2_energy_floor)
+        if entry["speedup"] < speedup_floor:
+            failures.append(
+                f"{kernel}: CC speedup {entry['speedup']:.2f}x below the "
+                f"{speedup_floor:.2f}x floor")
+        if entry["total_energy_ratio"] < energy_floor:
+            failures.append(
+                f"{kernel}: total-energy ratio "
+                f"{entry['total_energy_ratio']:.2f} below the "
+                f"{energy_floor:.2f} floor")
+    if not backends_check["identical"]:
+        failures.append("packed and bitexact backends disagree on a "
+                        "kernel output digest")
+    for kernel, campaign in faults_doc.items():
+        if campaign["silent"]:
+            failures.append(f"{kernel}: {campaign['silent']} silent "
+                            f"corruption(s) under the fault campaign")
+        if not campaign["faulty_matches_reference"]:
+            failures.append(f"{kernel}: faulty run's output failed its own "
+                            "integrity oracle")
+
+    return bench_document(
+        CRYPTO_SCHEMA,
+        {
+            "kernels": list(cfg.kernels),
+            "ghash_blocks": cfg.ghash_blocks,
+            "crc_bytes": cfg.crc_bytes,
+            "ntt_n": cfg.ntt_n,
+            "ntt_q": cfg.ntt_q,
+            "seed": cfg.seed,
+            "backends": list(cfg.backends),
+            "fault_seed": cfg.fault_seed,
+            "pulse_every": cfg.pulse_every,
+        },
+        kernels=kernels_doc,
+        checks={"backends": backends_check},
+        faults=faults_doc,
+        contract={
+            "gf2_speedup_floor": cfg.gf2_speedup_floor,
+            "gf2_energy_floor": cfg.gf2_energy_floor,
+            "ntt_speedup_floor": cfg.ntt_speedup_floor,
+            "ntt_energy_floor": cfg.ntt_energy_floor,
+            "passed": not failures,
+            "failures": failures,
+        },
+    )
+
+
+def summarize(doc: dict[str, Any]) -> str:
+    """Human-readable digest of a ``BENCH_crypto.json`` document."""
+    lines = ["crypto kernels, CC vs scalar CPU (Table IV machine):"]
+    for kernel, entry in doc["kernels"].items():
+        lines.append(
+            f"  {kernel:6s} speedup={entry['speedup']:6.2f}x  "
+            f"total-energy ratio={entry['total_energy_ratio']:5.2f}  "
+            f"instr reduction={entry['instruction_reduction']:6.1%}  "
+            f"outputs match={entry['outputs_match']}")
+    checks = doc["checks"]["backends"]
+    lines.append(f"  cross-backend digests identical: {checks['identical']} "
+                 f"({', '.join(checks['backends'])})")
+    if doc["faults"]:
+        lines.append("fault campaign (detected / injected, silent):")
+        for kernel, campaign in doc["faults"].items():
+            lines.append(
+                f"  {kernel:6s} detected={campaign['detected_total']:3d} / "
+                f"injected={campaign['injected_total']:3d}  "
+                f"silent={campaign['silent']}  "
+                f"oracle={campaign['oracle']}")
+    verdict = "PASS" if doc["contract"]["passed"] else "FAIL"
+    lines.append(f"contract: {verdict}")
+    return "\n".join(lines)

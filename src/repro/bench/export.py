@@ -30,8 +30,8 @@ from typing import Any
 from ..config_io import config_to_dict
 from ..params import sandybridge_8core
 from . import appbench, checkpointbench, microbench
-from .points import WORKLOAD_SEEDS
-from .runner import PointRunner, code_fingerprint, git_revision
+from .report import bench_provenance
+from .runner import PointRunner
 
 
 def _kernel_entry(meas) -> dict[str, Any]:
@@ -48,13 +48,12 @@ def _kernel_entry(meas) -> dict[str, Any]:
 
 
 def provenance() -> dict[str, Any]:
-    """The results-JSON provenance header (deterministic per tree)."""
-    return {
-        "backend": sandybridge_8core().backend,
-        "code_version": code_fingerprint(),
-        "git_commit": git_revision(),
-        "workload_seeds": dict(WORKLOAD_SEEDS),
-    }
+    """The results-JSON provenance header (deterministic per tree).
+
+    Delegates to the shared writer so every ``BENCH_*.json`` trajectory
+    file carries an identical header (see :mod:`repro.bench.report`).
+    """
+    return bench_provenance()
 
 
 def export_fast(runner: PointRunner | None = None,

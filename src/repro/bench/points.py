@@ -48,6 +48,7 @@ WORKLOAD_SEEDS = {
     "bitmap-query-mix": 105,
     "qdnn-network": 106,
     "streambw-arrays": 107,
+    "crypto-workload": 108,
     "wordline-sweep": 2024,
 }
 
@@ -199,6 +200,47 @@ def streambw_point(kernel: str, variant: str = "scalar",
     doc["instructions"] = res.instructions
     doc["dynamic_pj"] = dict(res.energy.pj)
     return doc
+
+
+# -- crypto points (repro bench crypto) ------------------------------------------------
+
+
+@point_function("crypto")
+def crypto_point(kernel: str, variant: str = "cc",
+                 ghash_blocks: int = 64, crc_bytes: int = 1024,
+                 ntt_n: int = 128, ntt_q: int = 8192,
+                 machine: dict[str, Any] | None = None,
+                 backend: str | None = None,
+                 seed: int = 108) -> dict[str, Any]:
+    """One verified crypto-kernel measurement
+    (:func:`repro.apps.crypto.run_crypto`): ``ghash``/``crc32``/``crc64``/
+    ``ntt`` in the ``cc`` or ``scalar`` variant, reduced to plain data
+    plus the canonical output digest (the cross-backend identity probe).
+
+    ``machine`` optionally replaces the paper's Table IV machine with an
+    explicit config document.
+    """
+    from ..apps.crypto import CryptoConfig, output_digest, run_crypto
+    from ..machine import ComputeCacheMachine
+    from ..params import sandybridge_8core
+
+    config = (config_from_dict(machine) if machine is not None
+              else sandybridge_8core())
+    m = ComputeCacheMachine(config, backend=backend)
+    cfg = CryptoConfig(seed=seed, ghash_blocks=ghash_blocks,
+                       crc_bytes=crc_bytes, ntt_n=ntt_n, ntt_q=ntt_q)
+    res = run_crypto(kernel, variant, machine=m, cfg=cfg)
+    return {
+        "kernel": kernel,
+        "variant": variant,
+        "cycles": res.cycles,
+        "instructions": res.instructions,
+        "cc_instructions": int(res.stats.get("cc_instructions", 0)),
+        "dynamic_pj": dict(res.energy.pj),
+        "total_nj": m.total_energy(res.energy, res.cycles).total,
+        "matches_reference": bool(res.stats["matches_reference"]),
+        "output_digest": output_digest(res),
+    }
 
 
 # -- checkpointing points (Figures 10 and 11) ------------------------------------------

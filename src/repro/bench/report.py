@@ -1,8 +1,63 @@
-"""ASCII rendering of benchmark results in the paper's table/figure shapes."""
+"""ASCII rendering of benchmark results, plus the shared ``BENCH_*.json``
+document writer.
+
+Every benchmark trajectory file the repo emits (``BENCH_speed.json``,
+``BENCH_streambw.json``, ``BENCH_serve.json``, ``BENCH_crypto.json``,
+``results.json``) opens with the same two fields — a ``schema`` tag and
+the deterministic :func:`bench_provenance` header — so documents from
+different trees or backends are always distinguishable and documents
+from the same tree are bit-identical however they were produced.
+:func:`bench_document` assembles that envelope in one place and
+:func:`write_bench` serializes it with one canonical JSON layout.
+"""
 
 from __future__ import annotations
 
+import json
 from collections.abc import Mapping, Sequence
+from typing import Any
+
+
+def bench_provenance() -> dict[str, Any]:
+    """The shared benchmark-JSON provenance header (deterministic per
+    source tree): execution backend, source-tree content fingerprint,
+    git commit, and the fixed workload seeds.  Deliberately *not* here:
+    anything that varies between equivalent runs of the same tree (job
+    count, wall-clock, cache hits), which would break the
+    serial/parallel/cached bit-identity contract."""
+    from ..params import sandybridge_8core
+    from .points import WORKLOAD_SEEDS
+    from .runner import code_fingerprint, git_revision
+
+    return {
+        "backend": sandybridge_8core().backend,
+        "code_version": code_fingerprint(),
+        "git_commit": git_revision(),
+        "workload_seeds": dict(WORKLOAD_SEEDS),
+    }
+
+
+def bench_document(schema: str, config: Mapping[str, Any],
+                   **sections: Any) -> dict[str, Any]:
+    """Assemble a ``BENCH_*.json`` document with the unified envelope:
+    ``schema`` + ``provenance`` + ``config`` first, then the suite's own
+    sections in the order given."""
+    doc: dict[str, Any] = {
+        "schema": schema,
+        "provenance": bench_provenance(),
+        "config": dict(config),
+    }
+    for name, section in sections.items():
+        doc[name] = section
+    return doc
+
+
+def write_bench(doc: Mapping[str, Any], path) -> None:
+    """Serialize a benchmark document with the canonical layout every
+    suite shares (sorted keys, indent 1 — byte-stable across runs)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
 
 
 def render_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:

@@ -30,7 +30,7 @@ from ..core import isa
 from ..errors import ReproError
 from ..machine import ComputeCacheMachine
 from ..params import BACKENDS
-from .export import provenance
+from .report import bench_document
 
 SPEED_SCHEMA = "repro.bench-speed/1"
 
@@ -153,10 +153,9 @@ def run_speed(cfg: SpeedConfig) -> dict[str, Any]:
         }
 
     contract = _check_contract(cfg, backends_doc)
-    return {
-        "schema": SPEED_SCHEMA,
-        "provenance": provenance(),
-        "config": {
+    return bench_document(
+        SPEED_SCHEMA,
+        {
             "kernel": cfg.kernel,
             "size": cfg.size,
             "instructions": cfg.instructions,
@@ -165,9 +164,9 @@ def run_speed(cfg: SpeedConfig) -> dict[str, Any]:
             "backends": list(cfg.backends),
             "seed": cfg.seed,
         },
-        "backends": backends_doc,
-        "contract": contract,
-    }
+        backends=backends_doc,
+        contract=contract,
+    )
 
 
 def _check_contract(cfg: SpeedConfig,

@@ -52,8 +52,8 @@ from ..cpu.core_model import MEMORY_LEVEL_PARALLELISM
 from ..errors import ReproError
 from ..machine import ComputeCacheMachine
 from ..params import BACKENDS, BLOCK_SIZE, MachineConfig, multi_cluster
-from .export import provenance
 from .microbench import _resolve_runner
+from .report import bench_document
 from .runner import Point
 
 STREAMBW_SCHEMA = "repro.streambw/1"
@@ -259,10 +259,9 @@ def run_streambw_sweep(cfg: StreamBWConfig,
     if not backend["identical"]:
         failures.append("packed and bitexact backends disagree")
 
-    return {
-        "schema": STREAMBW_SCHEMA,
-        "provenance": provenance(),
-        "config": {
+    return bench_document(
+        STREAMBW_SCHEMA,
+        {
             "kernels": list(cfg.kernels),
             "clusters": list(cfg.clusters),
             "cores_per_cluster": cfg.cores_per_cluster,
@@ -271,23 +270,23 @@ def run_streambw_sweep(cfg: StreamBWConfig,
             "inter_hop_latency": cfg.inter_hop_latency,
             "seed": cfg.seed,
         },
-        "machine": config_to_dict(
+        machine=config_to_dict(
             machine_for(max(cfg.clusters), cfg.cores_per_cluster,
                         cfg.inter_hop_latency)),
-        "numa_scaling": {
+        numa_scaling={
             "rows": rows,
             "rooflines": rooflines,
             "crossover_clusters": crossover_clusters,
         },
-        "checks": {
+        checks={
             "flat_ring": flat,
             "backends": backend,
         },
-        "contract": {
+        contract={
             "passed": not failures,
             "failures": failures,
         },
-    }
+    )
 
 
 def summarize(doc: dict[str, Any]) -> str:

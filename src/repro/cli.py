@@ -2,13 +2,20 @@
 
 Usage::
 
-    python -m repro fig7             # micro-benchmarks (Fig 7a-c)
-    python -m repro fig3             # energy proportions (Fig 3 top)
-    python -m repro fig8             # in-place vs near-place + levels
-    python -m repro fig9 --scale 0.5 # applications (Fig 9a-b)
-    python -m repro fig10            # checkpoint overheads
-    python -m repro fig11            # checkpoint energy
-    python -m repro sweeps           # design-space sweeps around 4 KB
+    python -m repro bench <suite>    # any benchmark suite (fig3-fig11,
+                                     # sweeps, qdnn, speed, streambw,
+                                     # crypto) behind one dispatcher
+    python -m repro bench fig7       # micro-benchmarks (Fig 7a-c)
+    python -m repro bench fig9 --scale 0.5
+                                     # applications (Fig 9a-b)
+    python -m repro bench speed --instructions 32 --passes 4
+                                     # sustained simulator throughput
+                                     # -> BENCH_speed.json
+    python -m repro bench streambw --clusters 1,2,4
+                                     # STREAM NUMA bandwidth sweep
+                                     # -> BENCH_streambw.json
+    python -m repro bench crypto     # GHASH/CRC/NTT on cc_clmul + fault
+                                     # study -> BENCH_crypto.json
     python -m repro tables           # Tables I, III, V
     python -m repro demo             # quickstart walkthrough
     python -m repro export --full --jobs 4
@@ -19,21 +26,19 @@ Usage::
                                      # simulation job service (HTTP/JSON)
     python -m repro loadgen --requests 1000 --concurrency 32
                                      # load-test a service -> BENCH_serve.json
-    python -m repro speed --instructions 32 --passes 4
-                                     # sustained simulator throughput
-                                     # -> BENCH_speed.json
-    python -m repro streambw --clusters 1,2,4
-                                     # STREAM NUMA bandwidth sweep
-                                     # -> BENCH_streambw.json
 
-The figure, sweep, and export commands take ``--jobs N`` (process-pool
-parallelism), ``--no-cache``, and ``--cache-dir`` — see
+Every ``bench`` suite shares one flag set — ``--jobs N`` (process-pool
+parallelism), ``--no-cache``, ``--cache-dir``, the simulation trio
+``--backend``/``--trace-events``/``--seed``, and ``--out`` — see
 ``docs/benchmarks.md`` for the runner architecture and cache semantics.
+The suite registry lives in :mod:`repro.bench.suites`
+(``repro.api.bench_suites()``).
 
-Every simulation subcommand takes the common trio ``--backend``
-(``packed``/``bitexact``), ``--trace-events``, and ``--seed``; the
-``faults`` subcommand runs a deterministic fault-injection campaign and
-prints a resilience report (see ``docs/faults.md``).
+The pre-``bench`` per-suite subcommands (``repro fig7``, ``repro
+speed``, ...) keep working as deprecated aliases that emit a
+``DeprecationWarning``; the ``faults`` subcommand runs a deterministic
+fault-injection campaign and prints a resilience report (see
+``docs/faults.md``).
 """
 
 from __future__ import annotations
@@ -359,8 +364,8 @@ def _cmd_serve(args) -> None:
 
 def _cmd_loadgen(args) -> None:
     import asyncio
-    import json
 
+    from .bench.report import write_bench
     from .serve.loadgen import LoadgenConfig, run_loadgen, summarize
 
     cfg = LoadgenConfig(
@@ -372,8 +377,7 @@ def _cmd_loadgen(args) -> None:
         cache_dir=args.cache_dir, use_cache=not args.no_cache,
         backend=args.backend)
     doc = asyncio.run(run_loadgen(cfg))
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=1, sort_keys=True)
+    write_bench(doc, args.out)
     print(summarize(doc))
     print(f"wrote {args.out}")
     metrics = doc["metrics"]
@@ -386,6 +390,7 @@ def _cmd_loadgen(args) -> None:
 def _cmd_speed(args) -> None:
     import json
 
+    from .bench.report import write_bench
     from .bench.speed import SpeedConfig, run_speed, summarize
 
     baseline = None
@@ -403,8 +408,7 @@ def _cmd_speed(args) -> None:
         min_speedup=args.min_speedup, baseline=baseline,
         tolerance=args.tolerance)
     doc = run_speed(cfg)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=1, sort_keys=True)
+    write_bench(doc, args.out)
     print(summarize(doc))
     print(f"wrote {args.out}")
     if not doc["contract"]["passed"]:
@@ -414,8 +418,7 @@ def _cmd_speed(args) -> None:
 
 
 def _cmd_streambw(args) -> None:
-    import json
-
+    from .bench.report import write_bench
     from .bench.streambw import StreamBWConfig, run_streambw_sweep, summarize
 
     backends = (args.backend,) if args.backend is not None else BACKENDS
@@ -429,8 +432,31 @@ def _cmd_streambw(args) -> None:
         check_words=args.check_words, backends=backends)
     runner = _runner_from(args)
     doc = run_streambw_sweep(cfg, runner=runner)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(doc, handle, indent=1, sort_keys=True)
+    write_bench(doc, args.out)
+    print(summarize(doc))
+    print(f"wrote {args.out}")
+    _finish_runner(runner, args)
+    if not doc["contract"]["passed"]:
+        for failure in doc["contract"]["failures"]:
+            print(f"contract failure: {failure}", file=sys.stderr)
+        sys.exit(1)
+
+
+def _cmd_crypto(args) -> None:
+    from .bench.crypto import CryptoSweepConfig, run_crypto_sweep, summarize
+    from .bench.report import write_bench
+
+    backends = (args.backend,) if args.backend is not None else BACKENDS
+    cfg = CryptoSweepConfig(
+        kernels=tuple(args.kernels.split(",")),
+        ghash_blocks=args.ghash_blocks, crc_bytes=args.crc_bytes,
+        ntt_n=args.ntt_n,
+        seed=args.seed if args.seed is not None else 108,
+        backends=backends, fault_seed=args.fault_seed,
+        pulse_every=args.pulse_every, run_faults=not args.no_faults)
+    runner = _runner_from(args)
+    doc = run_crypto_sweep(cfg, runner=runner, backend=args.backend)
+    write_bench(doc, args.out)
     print(summarize(doc))
     print(f"wrote {args.out}")
     _finish_runner(runner, args)
@@ -475,6 +501,49 @@ def _cmd_faults(args) -> None:
         sys.exit(1)
 
 
+def _suite_fn(suite, deprecated: bool):
+    """The dispatch target for one registry suite: the legacy alias warns
+    first (the `_compat` pattern applied to subcommands), then both paths
+    run the same implementation."""
+
+    def fn(args) -> None:
+        if deprecated:
+            from ._compat import warn_deprecated_command
+
+            warn_deprecated_command(suite.name, f"bench {suite.name}")
+        if suite.out_default is None and getattr(args, "out", None):
+            _run_teed(suite, args)
+        else:
+            suite.run(args)
+
+    return fn
+
+
+def _run_teed(suite, args) -> None:
+    """``--out`` on a print-only suite: tee the rendered report to the
+    file while still printing it."""
+    import contextlib
+    import io
+
+    class _Tee(io.TextIOBase):
+        def __init__(self, *streams):
+            self.streams = streams
+
+        def write(self, s):
+            for stream in self.streams:
+                stream.write(s)
+            return len(s)
+
+        def flush(self):
+            for stream in self.streams:
+                stream.flush()
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        with contextlib.redirect_stdout(_Tee(sys.stdout, handle)):
+            suite.run(args)
+    print(f"wrote {args.out}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -507,32 +576,32 @@ def build_parser() -> argparse.ArgumentParser:
              "workloads ignore it)")
 
     sub.add_parser("tables", help="Tables I, III, V").set_defaults(fn=_cmd_tables)
-    p3 = sub.add_parser("fig3", help="Figure 3 energy proportions",
-                        parents=[sim_args])
-    p3.set_defaults(fn=_cmd_fig3)
 
-    p7 = sub.add_parser("fig7", help="Figure 7 micro-benchmarks",
-                        parents=[runner_args, sim_args])
-    p7.add_argument("--size", type=int, default=4096, help="operand bytes")
-    p7.set_defaults(fn=_cmd_fig7)
+    # The registry-driven benchmark dispatcher: one `repro bench <suite>`
+    # subparser per registered suite, plus a deprecated top-level alias
+    # with identical flags (the pre-PR-10 command surface).
+    from .bench.suites import BENCH_SUITES
 
-    p8 = sub.add_parser("fig8", help="Figure 8 in/near-place + levels",
-                        parents=[runner_args, sim_args])
-    p8.add_argument("--size", type=int, default=4096)
-    p8.set_defaults(fn=_cmd_fig8)
-
-    p9 = sub.add_parser("fig9", help="Figure 9 applications",
-                        parents=[runner_args, sim_args])
-    p9.add_argument("--scale", type=float, default=0.5,
-                    help="workload scale factor (1.0 = bench scale)")
-    p9.set_defaults(fn=_cmd_fig9)
-
-    pq = sub.add_parser("qdnn",
-                        help="Neural Cache quantized-DNN benchmark",
-                        parents=[runner_args, sim_args])
-    pq.add_argument("--scale", type=float, default=1.0,
-                    help="workload scale factor (1.0 = 32x32 input)")
-    pq.set_defaults(fn=_cmd_qdnn)
+    pbench = sub.add_parser(
+        "bench",
+        help="run a benchmark suite: repro bench <suite> "
+             "(see docs/benchmarks.md)")
+    bench_sub = pbench.add_subparsers(dest="suite", required=True,
+                                      metavar="<suite>")
+    for suite in BENCH_SUITES.values():
+        for home, deprecated in ((bench_sub, False), (sub, True)):
+            help_text = (f"(deprecated alias of 'repro bench {suite.name}') "
+                         f"{suite.help}" if deprecated else suite.help)
+            sp = home.add_parser(suite.name, help=help_text,
+                                 parents=[runner_args, sim_args])
+            sp.add_argument(
+                "--out", default=suite.out_default, metavar="OUT",
+                help=(f"output document (default {suite.out_default})"
+                      if suite.out_default else
+                      "also write the rendered report to this file"))
+            if suite.configure is not None:
+                suite.configure(sp)
+            sp.set_defaults(fn=_suite_fn(suite, deprecated))
 
     pdc = sub.add_parser(
         "docscheck",
@@ -546,23 +615,6 @@ def build_parser() -> argparse.ArgumentParser:
     pdc.add_argument("--verbose", action="store_true",
                      help="name each example as it runs")
     pdc.set_defaults(fn=_cmd_docscheck)
-
-    p10 = sub.add_parser("fig10", help="Figure 10 checkpoint overheads",
-                         parents=[runner_args, sim_args])
-    p10.add_argument("--intervals", type=int, default=1)
-    p10.set_defaults(fn=_cmd_fig10)
-
-    p11 = sub.add_parser("fig11", help="Figure 11 checkpoint energy",
-                         parents=[runner_args, sim_args])
-    p11.add_argument("--intervals", type=int, default=1)
-    p11.set_defaults(fn=_cmd_fig11)
-
-    psw = sub.add_parser(
-        "sweeps", help="design-space sweeps around the 4 KB operating point",
-        parents=[runner_args, sim_args])
-    psw.add_argument("--kernel", default="logical",
-                     help="kernel for the operand-size sweep")
-    psw.set_defaults(fn=_cmd_sweeps)
 
     pd = sub.add_parser("demo", help="quick CC walkthrough",
                         parents=[sim_args])
@@ -646,62 +698,6 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail (exit 1) if p99 latency exceeds this")
     pl.add_argument("--out", default="BENCH_serve.json")
     pl.set_defaults(fn=_cmd_loadgen)
-
-    pd = sub.add_parser(
-        "speed",
-        help="sustained simulator-throughput benchmark (sequential vs "
-             "stream scheduler) -> BENCH_speed.json (see docs/benchmarks.md)",
-        parents=[sim_args])
-    pd.add_argument("--kernel", default="xor",
-                    choices=("and", "or", "xor", "not", "copy", "buz", "cmp"),
-                    help="CC kernel shape to stream (default xor)")
-    pd.add_argument("--size", type=int, default=4096,
-                    help="bytes per operand (default 4096, fig7 scale)")
-    pd.add_argument("--instructions", type=int, default=32,
-                    help="distinct disjoint-operand instructions per pass")
-    pd.add_argument("--passes", type=int, default=4,
-                    help="timed re-issues of the whole stream")
-    pd.add_argument("--window", type=int, default=8,
-                    help="stream fusion window (default 8)")
-    pd.add_argument("--backends", default="packed,bitexact", metavar="A,B",
-                    help="comma-separated backends to measure (ignored "
-                         "when --backend picks a single one)")
-    pd.add_argument("--min-speedup", type=float, default=None, metavar="X",
-                    help="fail (exit 1) if stream speedup over the "
-                         "sequential path falls below X on any backend")
-    pd.add_argument("--baseline", metavar="BENCH_speed.json", default=None,
-                    help="committed baseline document to regress against")
-    pd.add_argument("--tolerance", type=float, default=0.2,
-                    help="allowed fractional instructions/sec regression "
-                         "vs --baseline (default 0.2)")
-    pd.add_argument("--out", default="BENCH_speed.json")
-    pd.set_defaults(fn=_cmd_speed)
-
-    pb = sub.add_parser(
-        "streambw",
-        help="STREAM NUMA bandwidth sweep over cluster counts -> "
-             "BENCH_streambw.json (see docs/topology.md)",
-        parents=[runner_args, sim_args])
-    pb.add_argument("--kernels", default="copy,scale,add,triad",
-                    metavar="K,K",
-                    help="comma-separated kernels (default: the four STREAM "
-                         "kernels; gather/scatter run scalar-only)")
-    pb.add_argument("--clusters", default="1,2,4", metavar="N,N",
-                    help="cluster counts to sweep (default 1,2,4)")
-    pb.add_argument("--cores-per-cluster", type=int, default=2,
-                    help="cores (= ring stops = L3 slices) per cluster")
-    pb.add_argument("--words", type=int, default=1024,
-                    help="uint32 elements per array per core (default 1024)")
-    pb.add_argument("--placement", choices=("hub", "local"), default="hub",
-                    help="page placement: hub homes every page on cluster 0 "
-                         "(NUMA stress); local homes pages core-locally")
-    pb.add_argument("--inter-hop-latency", type=int, default=24,
-                    help="cluster-ring hop latency in cycles (default 24)")
-    pb.add_argument("--check-words", type=int, default=256,
-                    help="array size for the flat-ring and cross-backend "
-                         "bit-identity checks (default 256)")
-    pb.add_argument("--out", default="BENCH_streambw.json")
-    pb.set_defaults(fn=_cmd_streambw)
 
     pf = sub.add_parser(
         "faults",

@@ -64,6 +64,7 @@ DOC_FILES = (
     "docs/api.md",
     "docs/architecture.md",
     "docs/benchmarks.md",
+    "docs/crypto.md",
     "docs/faults.md",
     "docs/isa.md",
     "docs/modeling.md",

@@ -257,7 +257,7 @@ async def run_loadgen(cfg: LoadgenConfig) -> dict[str, Any]:
 def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
                wall_s: float, server_stats: dict[str, Any] | None
                ) -> dict[str, Any]:
-    from ..bench.export import provenance
+    from ..bench.report import bench_document
 
     ok = [o for o in outcomes
           if o.status == 200 and o.job is not None
@@ -292,10 +292,9 @@ def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
                     and p99_ms <= cfg.contract_p99_ms))
 
     service_stats = (server_stats or {}).get("stats", {})
-    return {
-        "schema": BENCH_SCHEMA,
-        "provenance": provenance(),
-        "config": {
+    return bench_document(
+        BENCH_SCHEMA,
+        {
             "url": url,
             "requests": cfg.requests,
             "concurrency": cfg.concurrency,
@@ -307,7 +306,7 @@ def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
             "sleep_ms": cfg.sleep_ms,
             "workers": cfg.workers if cfg.url is None else None,
         },
-        "metrics": {
+        metrics={
             "completed": len(ok),
             "lost": lost,
             "duplicated": duplicated,
@@ -327,18 +326,18 @@ def _build_doc(cfg: LoadgenConfig, url: str, outcomes: list[_Outcome],
             "server_tail_hit_rate": service_stats.get(
                 "duplicate_tail_hit_rate"),
         },
-        "audit": {
+        audit={
             # Request numbers (positions in the sampled FIFO sequence)
             # behind the lost/duplicated counters, capped for readability.
             "lost_req_nos": lost_req_nos[:100],
             "duplicated_req_nos": duplicated_req_nos[:100],
         },
-        "server_stats": server_stats,
-        "contract": {
+        server_stats=server_stats,
+        contract={
             "p99_ms_limit": cfg.contract_p99_ms,
             "passed": contract_ok,
         },
-    }
+    )
 
 
 def summarize(doc: dict[str, Any]) -> str:
